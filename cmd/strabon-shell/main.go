@@ -1,0 +1,105 @@
+// Command strabon-shell is an interactive stSPARQL endpoint over a
+// Strabon store directory (as written by Store.Save) or an N-Triples
+// file. Statements are terminated by a line containing only ";".
+//
+// Usage:
+//
+//	strabon-shell [-store DIR] [-nt FILE] [-linked]
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"flag"
+
+	"repro/internal/linkeddata"
+	"repro/internal/strabon"
+	"repro/internal/stsparql"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "load a saved Strabon store directory")
+	ntFile := flag.String("nt", "", "load an N-Triples file")
+	linked := flag.Bool("linked", false, "preload the synthetic linked open data")
+	flag.Parse()
+
+	st := strabon.NewStore()
+	if *storeDir != "" {
+		loaded, err := strabon.Load(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "strabon-shell:", err)
+			os.Exit(1)
+		}
+		st = loaded
+	}
+	if *ntFile != "" {
+		f, err := os.Open(*ntFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "strabon-shell:", err)
+			os.Exit(1)
+		}
+		if _, err := st.LoadNTriples(f); err != nil {
+			fmt.Fprintln(os.Stderr, "strabon-shell:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if *linked {
+		st.AddAll(linkeddata.All())
+	}
+	eng := stsparql.New(st)
+	stats := st.Stats()
+	fmt.Printf("strabon-shell: %d triples, %d spatial literals. End statements with a ';' line.\n",
+		stats.Triples, stats.SpatialLiterals)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var buf strings.Builder
+	fmt.Print("stsparql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == ";" {
+			query := strings.TrimSpace(buf.String())
+			buf.Reset()
+			if query != "" {
+				execute(eng, query)
+			}
+			fmt.Print("stsparql> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+}
+
+func execute(eng *stsparql.Engine, query string) {
+	res, err := eng.Query(query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	switch {
+	case res.Triples != nil:
+		for _, t := range res.Triples {
+			fmt.Println(t)
+		}
+	case res.Vars != nil:
+		for _, b := range res.Bindings {
+			var cells []string
+			for _, v := range res.Vars {
+				if t, ok := b[v]; ok {
+					cells = append(cells, "?"+v+"="+t.String())
+				}
+			}
+			fmt.Println(strings.Join(cells, " "))
+		}
+		fmt.Printf("(%d row(s))\n", len(res.Bindings))
+	case res.Affected > 0:
+		fmt.Printf("ok (%d affected)\n", res.Affected)
+	default:
+		fmt.Println(res.Bool)
+	}
+}

@@ -1,0 +1,206 @@
+// Command teleios is the Virtual Earth Observatory CLI: it generates the
+// synthetic satellite archive, runs the NOA processing chain, refines
+// products, builds fire maps, and evaluates ad-hoc SciQL / stSPARQL.
+//
+// Usage:
+//
+//	teleios generate -dir DIR [-size N] [-steps K]
+//	teleios catalog  -dir DIR
+//	teleios chain    -dir DIR [-product ID] [-shp FILE]
+//	teleios refine   -dir DIR
+//	teleios firemap  -dir DIR [-radius METERS] [-out FILE]
+//	teleios query    -dir DIR 'SELECT ...'
+//	teleios sciql    -dir DIR 'SELECT ...'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	dir := fs.String("dir", "archive", "repository directory of .sev products")
+	size := fs.Int("size", 128, "frame width and height in pixels (generate)")
+	steps := fs.Int("steps", 6, "number of 15-minute frames (generate)")
+	product := fs.String("product", "", "product ID (chain); default: latest")
+	shp := fs.String("shp", "", "write hotspot shapefile to this path (chain)")
+	radius := fs.Float64("radius", 30000, "enrichment radius in meters (firemap)")
+	out := fs.String("out", "", "output file (firemap); default stdout")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	if err := run(cmd, fs.Args(), *dir, *size, *steps, *product, *shp, *radius, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "teleios:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: teleios <generate|catalog|chain|refine|firemap|query|sciql> [flags] [statement]`)
+}
+
+func run(cmd string, args []string, dir string, size, steps int, product, shp string, radius float64, out string) error {
+	switch cmd {
+	case "generate":
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		ids, err := core.GenerateArchive(dir, size, size, steps)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return nil
+	case "catalog":
+		obs, err := open(dir, false)
+		if err != nil {
+			return err
+		}
+		cat := obs.Catalog()
+		fmt.Printf("%-22s %-12s %-8s %5s %5s\n", "ID", "SATELLITE", "SENSOR", "W", "H")
+		for i := 0; i < cat.NumRows(); i++ {
+			fmt.Printf("%-22s %-12s %-8s %5d %5d\n",
+				cat.Col("id").Str(i), cat.Col("satellite").Str(i), cat.Col("sensor").Str(i),
+				cat.Col("width").Int(i), cat.Col("height").Int(i))
+		}
+		return nil
+	case "chain":
+		obs, err := open(dir, true)
+		if err != nil {
+			return err
+		}
+		id := product
+		if id == "" {
+			ids := obs.Products()
+			if len(ids) == 0 {
+				return fmt.Errorf("repository %s is empty", dir)
+			}
+			id = ids[len(ids)-1]
+		}
+		p, err := obs.RunChain(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("product %s: %d hotspot(s)\n", p.FrameID, len(p.Hotspots))
+		for _, h := range p.Hotspots {
+			fmt.Printf("  %-28s conf=%.2f pixels=%d\n", h.ID, h.Confidence, h.PixelCount)
+		}
+		for stage, d := range p.Timings {
+			fmt.Printf("  stage %-13s %v\n", stage, d)
+		}
+		if shp != "" {
+			f, err := os.Create(shp)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteShapefile(f, p); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Println("wrote", shp)
+		}
+		return nil
+	case "refine":
+		obs, err := open(dir, true)
+		if err != nil {
+			return err
+		}
+		for _, id := range obs.Products() {
+			if _, err := obs.RunChain(id); err != nil {
+				return err
+			}
+		}
+		stats, err := obs.Refine()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hotspots: %d total, %d rejected (off-land), %d clipped to coastline\n",
+			stats.Total, stats.Rejected, stats.Clipped)
+		return nil
+	case "firemap":
+		obs, err := open(dir, true)
+		if err != nil {
+			return err
+		}
+		for _, id := range obs.Products() {
+			if _, err := obs.RunChain(id); err != nil {
+				return err
+			}
+		}
+		if _, err := obs.Refine(); err != nil {
+			return err
+		}
+		m, err := obs.FireMap(radius)
+		if err != nil {
+			return err
+		}
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return m.WriteGeoJSON(w)
+	case "query", "sciql":
+		if len(args) != 1 {
+			return fmt.Errorf("%s needs exactly one statement argument", cmd)
+		}
+		obs, err := open(dir, true)
+		if err != nil {
+			return err
+		}
+		obs.Catalog()
+		for _, id := range obs.Products() {
+			if _, err := obs.Ingest(id); err != nil {
+				return err
+			}
+		}
+		if cmd == "sciql" {
+			res, err := obs.SciQL(args[0])
+			if err != nil {
+				return err
+			}
+			if res.Table != nil {
+				printTable(res.Table)
+			} else {
+				fmt.Printf("ok (%d affected)\n", res.Affected)
+			}
+			return nil
+		}
+		res, err := obs.StSPARQL(args[0])
+		if err != nil {
+			return err
+		}
+		printSPARQL(res)
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func open(dir string, linked bool) (*core.Observatory, error) {
+	obs := core.New(core.Options{LoadLinkedData: linked})
+	if err := obs.AttachRepository(dir); err != nil {
+		return nil, err
+	}
+	return obs, nil
+}

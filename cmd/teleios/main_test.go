@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The CLI's run function is exercised directly: generate an archive, then
+// drive every subcommand against it.
+func TestCLIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("generate", nil, dir, 64, 4, "", "", 0, ""); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("archive files = %d", len(entries))
+	}
+	if err := run("catalog", nil, dir, 0, 0, "", "", 0, ""); err != nil {
+		t.Fatalf("catalog: %v", err)
+	}
+	shp := filepath.Join(dir, "out.shp")
+	if err := run("chain", nil, dir, 0, 0, "", shp, 0, ""); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	if fi, err := os.Stat(shp); err != nil || fi.Size() < 100 {
+		t.Fatalf("shapefile: %v", err)
+	}
+	if err := run("refine", nil, dir, 0, 0, "", "", 0, ""); err != nil {
+		t.Fatalf("refine: %v", err)
+	}
+	gj := filepath.Join(dir, "map.geojson")
+	if err := run("firemap", nil, dir, 0, 0, "", "", 30000, gj); err != nil {
+		t.Fatalf("firemap: %v", err)
+	}
+	if fi, err := os.Stat(gj); err != nil || fi.Size() == 0 {
+		t.Fatalf("geojson: %v", err)
+	}
+	if err := run("query", []string{`SELECT ?p WHERE { ?p a <http://teleios.di.uoa.gr/noa#Product> }`},
+		dir, 0, 0, "", "", 0, ""); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if err := run("sciql", []string{`SELECT count(*) AS n FROM catalog`},
+		dir, 0, 0, "", "", 0, ""); err != nil {
+		t.Fatalf("sciql: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("bogus", nil, dir, 0, 0, "", "", 0, ""); err == nil {
+		t.Fatal("unknown command should error")
+	}
+	if err := run("chain", nil, dir, 0, 0, "", "", 0, ""); err == nil {
+		t.Fatal("chain on empty repo should error")
+	}
+	if err := run("query", nil, dir, 0, 0, "", "", 0, ""); err == nil {
+		t.Fatal("query without statement should error")
+	}
+	if err := run("catalog", nil, filepath.Join(dir, "missing"), 0, 0, "", "", 0, ""); err == nil {
+		t.Fatal("missing repo should error")
+	}
+	if err := run("query", []string{"NOT SPARQL"}, dir, 0, 0, "", "", 0, ""); err == nil {
+		t.Fatal("bad query should error")
+	}
+}

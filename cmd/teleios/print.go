@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/column"
+	"repro/internal/stsparql"
+)
+
+// printTable renders a SciQL result table.
+func printTable(t *column.Table) {
+	var names []string
+	for _, f := range t.Fields {
+		names = append(names, f.Name)
+	}
+	fmt.Println(strings.Join(names, "\t"))
+	for i := 0; i < t.NumRows(); i++ {
+		var cells []string
+		for _, c := range t.Cols {
+			v := c.Value(i)
+			if v == nil {
+				cells = append(cells, "NULL")
+			} else {
+				cells = append(cells, fmt.Sprint(v))
+			}
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Printf("(%d row(s))\n", t.NumRows())
+}
+
+// printSPARQL renders an stSPARQL result.
+func printSPARQL(r *stsparql.Result) {
+	switch {
+	case r.Triples != nil:
+		for _, t := range r.Triples {
+			fmt.Println(t)
+		}
+		fmt.Printf("(%d triple(s))\n", len(r.Triples))
+	case r.Vars != nil:
+		fmt.Println(strings.Join(prefixVars(r.Vars), "\t"))
+		for _, b := range r.Bindings {
+			var cells []string
+			for _, v := range r.Vars {
+				if t, ok := b[v]; ok {
+					cells = append(cells, t.String())
+				} else {
+					cells = append(cells, "")
+				}
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+		fmt.Printf("(%d row(s))\n", len(r.Bindings))
+	case r.Affected > 0:
+		fmt.Printf("ok (%d affected)\n", r.Affected)
+	default:
+		fmt.Println(r.Bool)
+	}
+}
+
+func prefixVars(vars []string) []string {
+	out := make([]string, len(vars))
+	for i, v := range vars {
+		out[i] = "?" + v
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Discovery: the advanced EOWEB-like catalogue interface of Section 1.
+// The paper's flagship information request — "find an image taken by a
+// Meteosat second generation satellite on 25 August 2007 which covers the
+// area of Peloponnese and contains hotspots corresponding to forest fires
+// located within 2 km from a major archaeological site" — expressed as a
+// single stSPARQL query, impossible in a conventional EO archive
+// interface because "forest fire" and "archaeological site" are not
+// archive metadata.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	teleios "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "teleios-discovery")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	ids, err := teleios.GenerateArchive(dir, 128, 128, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs := teleios.Open(teleios.Options{LoadLinkedData: true})
+	if err := obs.AttachRepository(dir); err != nil {
+		log.Fatal(err)
+	}
+	// Populate the catalogue: metadata for every product, hotspots for
+	// the latest, refined.
+	for _, id := range ids {
+		if _, err := obs.Ingest(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := obs.RunChain(ids[len(ids)-1]); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := obs.Refine(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Classic catalogue search: products by time window and coverage —
+	// what EOWEB-NG already offers.
+	fmt.Println("== catalogue search (temporal + spatial) ==")
+	res, err := obs.StSPARQL(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+		SELECT ?img ?t WHERE {
+			?img a noa:Product .
+			?img noa:acquiredAt ?t .
+			?img noa:coverage ?cov .
+			FILTER(?t >= "2007-08-25T12:30:00Z"^^xsd:dateTime)
+			FILTER(strdf:intersects(?cov, "POLYGON ((22 37, 25 37, 25 39, 22 39, 22 37))"^^strdf:WKT))
+		} ORDER BY ?t`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range res.Bindings {
+		fmt.Printf("  %s  acquired %s\n", b["img"].Value, b["t"].Value)
+	}
+
+	// The flagship query: semantics + linked data, beyond any catalogue.
+	fmt.Println("\n== flagship query: fires within 2 km of archaeological sites ==")
+	flagship := `
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		PREFIX mon: <http://teleios.di.uoa.gr/monitoring#>
+		PREFIX gn: <http://sws.geonames.org/teleios/>
+		PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+		PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		SELECT DISTINCT ?img ?siteName (strdf:distance(?hg, ?sg) AS ?meters) WHERE {
+			?img a noa:Product .
+			?img noa:satellite "Meteosat-9" .
+			?h a mon:Hotspot .
+			?h noa:derivedFromProduct ?img .
+			?h noa:hasGeometry ?hg .
+			?site a gn:ArchaeologicalSite .
+			?site rdfs:label ?siteName .
+			?site noa:hasGeometry ?sg .
+			FILTER(strdf:distance(?hg, ?sg) < 2000)
+		}`
+	fmt.Println(flagship)
+	res, err = obs.StSPARQL(flagship)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Bindings) == 0 {
+		fmt.Println("  (no matches)")
+	}
+	for _, b := range res.Bindings {
+		fmt.Printf("  image %s: fire %s m from %s\n",
+			b["img"].Value, b["meters"].Value, b["siteName"].Value)
+	}
+
+	// Ontology-aware search: anything that is an Observation, via
+	// subsumption over the monitoring ontology.
+	fmt.Println("\n== ontology-backed search (subsumption) ==")
+	res, err = obs.StSPARQL(`
+		PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+		PREFIX mon: <http://teleios.di.uoa.gr/monitoring#>
+		SELECT DISTINCT ?class WHERE {
+			?x a ?class .
+			?class rdfs:subClassOf mon:Observation .
+		} ORDER BY ?class`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range res.Bindings {
+		fmt.Println("  instances of", b["class"].Value)
+	}
+}

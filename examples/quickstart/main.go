@@ -1,0 +1,70 @@
+// Quickstart: open an Observatory over a synthetic SEVIRI archive, run
+// the fire-monitoring chain on the latest acquisition, and ask one
+// stSPARQL question — the minimal end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	teleios "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "teleios-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. The synthetic satellite feed: 6 frames of 25 August 2007,
+	//    15 minutes apart (the real MSG feed is proprietary).
+	ids, err := teleios.GenerateArchive(dir, 128, 128, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archive: %d products, first %s\n", len(ids), ids[0])
+
+	// 2. Open the observatory with the linked open data preloaded and
+	//    attach the repository through the Data Vault (metadata only;
+	//    pixels load lazily).
+	obs := teleios.Open(teleios.Options{LoadLinkedData: true})
+	if err := obs.AttachRepository(dir); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run the NOA hotspot chain on the latest product.
+	latest := ids[len(ids)-1]
+	product, err := obs.RunChain(latest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chain on %s: %d hotspots\n", product.FrameID, len(product.Hotspots))
+	for _, h := range product.Hotspots {
+		fmt.Printf("  %-30s confidence %.2f (%d px)\n", h.ID, h.Confidence, h.PixelCount)
+	}
+
+	// 4. Ask Strabon which towns are near any detected fire.
+	res, err := obs.StSPARQL(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		PREFIX mon: <http://teleios.di.uoa.gr/monitoring#>
+		PREFIX gn: <http://sws.geonames.org/teleios/>
+		PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+		PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		SELECT DISTINCT ?name WHERE {
+			?h a mon:Hotspot .
+			?h noa:hasGeometry ?hg .
+			?t a gn:PopulatedPlace .
+			?t noa:hasGeometry ?tg .
+			?t rdfs:label ?name .
+			FILTER(strdf:distance(?hg, ?tg) < 25000)
+		} ORDER BY ?name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("towns within 25 km of a fire:")
+	for _, b := range res.Bindings {
+		fmt.Println("  -", b["name"].Value)
+	}
+}

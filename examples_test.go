@@ -1,0 +1,40 @@
+package teleios
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end-to-end; each one is a
+// self-contained demo scenario and must exit cleanly with the expected
+// markers in its output.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run whole scenarios; skipped in -short mode")
+	}
+	cases := []struct {
+		dir     string
+		markers []string
+	}{
+		{"./examples/quickstart", []string{"archive: 6 products", "hotspots", "towns within 25 km"}},
+		{"./examples/firemonitoring", []string{"chain over the time series", "classifier comparison", "the chain as SciQL"}},
+		{"./examples/refinement", []string{"refinement:", "rejected", "fire map layer"}},
+		{"./examples/discovery", []string{"catalogue search", "flagship query", "Olympia"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			for _, m := range c.markers {
+				if !strings.Contains(string(out), m) {
+					t.Errorf("%s output missing %q:\n%s", c.dir, m, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package array
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchImage(size int) *Array {
+	a := MustNew("img", Dim{Name: "y", Size: size}, Dim{Name: "x", Size: size})
+	for i := range a.Data {
+		a.Data[i] = float64(i%251) / 251
+	}
+	return a
+}
+
+func BenchmarkConvolve2D(b *testing.B) {
+	for _, size := range []int{128, 512} {
+		img := benchImage(size)
+		kernel := [][]float64{{0, 1, 0}, {1, -4, 1}, {0, 1, 0}}
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := img.Convolve2D(kernel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkResampleBilinear(b *testing.B) {
+	img := benchImage(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := img.Resample(256, 256, Bilinear); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTileAvg(b *testing.B) {
+	img := benchImage(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := img.Tile(16, 16, "avg"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	img := benchImage(512)
+	mask := img.Threshold(0.9) // ~10% of cells set, fragmented
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comps, err := mask.ConnectedComponents()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(comps) == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	img := benchImage(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := img.Summarize(); s.Count == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package array
+
+import (
+	"fmt"
+	"math"
+)
+
+// 2D image operations used by the NOA processing chain: convolution,
+// resampling, threshold classification, tiling (patch aggregation) and
+// connected-component labelling. All operate on rank-2 arrays laid out
+// (y, x).
+
+func (a *Array) check2D() error {
+	if len(a.Dims) != 2 {
+		return fmt.Errorf("array: %q is rank %d, need rank 2", a.Name, len(a.Dims))
+	}
+	return nil
+}
+
+// Height reports the y extent of a rank-2 array.
+func (a *Array) Height() int { return a.Dims[0].Size }
+
+// Width reports the x extent of a rank-2 array.
+func (a *Array) Width() int { return a.Dims[1].Size }
+
+// Convolve2D convolves the image with a square kernel (odd side length),
+// clamping at the borders. Null cells contribute their nearest valid
+// neighbour semantics are not needed in the pipeline; nulls propagate.
+func (a *Array) Convolve2D(kernel [][]float64) (*Array, error) {
+	if err := a.check2D(); err != nil {
+		return nil, err
+	}
+	k := len(kernel)
+	if k == 0 || k%2 == 0 {
+		return nil, fmt.Errorf("array: kernel side must be odd, got %d", k)
+	}
+	for _, row := range kernel {
+		if len(row) != k {
+			return nil, fmt.Errorf("array: kernel is not square")
+		}
+	}
+	h, w := a.Height(), a.Width()
+	out := MustNew(a.Name, a.Dims...)
+	if a.Null != nil {
+		out.Null = append([]bool(nil), a.Null...)
+	}
+	r := k / 2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if a.IsNull(y*w + x) {
+				continue
+			}
+			var sum float64
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					yy := clamp(y+dy, 0, h-1)
+					xx := clamp(x+dx, 0, w-1)
+					sum += kernel[dy+r][dx+r] * a.At2(yy, xx)
+				}
+			}
+			out.Set2(y, x, sum)
+		}
+	}
+	return out, nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// BoxBlur returns a k x k mean filter of the image.
+func (a *Array) BoxBlur(k int) (*Array, error) {
+	if k <= 0 || k%2 == 0 {
+		return nil, fmt.Errorf("array: blur size must be odd and positive, got %d", k)
+	}
+	kernel := make([][]float64, k)
+	w := 1 / float64(k*k)
+	for i := range kernel {
+		kernel[i] = make([]float64, k)
+		for j := range kernel[i] {
+			kernel[i][j] = w
+		}
+	}
+	return a.Convolve2D(kernel)
+}
+
+// ResampleMode selects the interpolation used by Resample.
+type ResampleMode int
+
+// Resampling modes.
+const (
+	// NearestNeighbor picks the closest source cell.
+	NearestNeighbor ResampleMode = iota + 1
+	// Bilinear interpolates the four surrounding source cells.
+	Bilinear
+)
+
+// Resample rescales a rank-2 array to (newH, newW) — the georeferencing
+// step resamples the projected image onto the target grid this way.
+func (a *Array) Resample(newH, newW int, mode ResampleMode) (*Array, error) {
+	if err := a.check2D(); err != nil {
+		return nil, err
+	}
+	if newH <= 0 || newW <= 0 {
+		return nil, fmt.Errorf("array: bad resample target %dx%d", newH, newW)
+	}
+	h, w := a.Height(), a.Width()
+	out := MustNew(a.Name, Dim{a.Dims[0].Name, newH}, Dim{a.Dims[1].Name, newW})
+	sy := float64(h) / float64(newH)
+	sx := float64(w) / float64(newW)
+	for y := 0; y < newH; y++ {
+		for x := 0; x < newW; x++ {
+			fy := (float64(y) + 0.5) * sy
+			fx := (float64(x) + 0.5) * sx
+			switch mode {
+			case Bilinear:
+				out.Set2(y, x, a.bilinear(fy-0.5, fx-0.5))
+			default:
+				yy := clamp(int(fy), 0, h-1)
+				xx := clamp(int(fx), 0, w-1)
+				out.Set2(y, x, a.At2(yy, xx))
+			}
+		}
+	}
+	return out, nil
+}
+
+func (a *Array) bilinear(fy, fx float64) float64 {
+	h, w := a.Height(), a.Width()
+	y0 := clamp(int(math.Floor(fy)), 0, h-1)
+	x0 := clamp(int(math.Floor(fx)), 0, w-1)
+	y1 := clamp(y0+1, 0, h-1)
+	x1 := clamp(x0+1, 0, w-1)
+	ty := fy - float64(y0)
+	tx := fx - float64(x0)
+	if ty < 0 {
+		ty = 0
+	}
+	if tx < 0 {
+		tx = 0
+	}
+	v00 := a.At2(y0, x0)
+	v01 := a.At2(y0, x1)
+	v10 := a.At2(y1, x0)
+	v11 := a.At2(y1, x1)
+	return v00*(1-ty)*(1-tx) + v01*(1-ty)*tx + v10*ty*(1-tx) + v11*ty*tx
+}
+
+// Threshold returns a binary mask (1 where value >= thresh, else 0),
+// preserving nulls — the classification primitive of the hotspot chain.
+func (a *Array) Threshold(thresh float64) *Array {
+	return a.Map(func(v float64) float64 {
+		if v >= thresh {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Tile partitions a rank-2 array into tileH x tileW patches and aggregates
+// each patch with agg ("avg", "min", "max", "sum"), producing the reduced
+// array — SciQL's structured GROUP BY over dimension tiles (the feature
+// extraction "patch" step of the ingestion tier).
+func (a *Array) Tile(tileH, tileW int, agg string) (*Array, error) {
+	if err := a.check2D(); err != nil {
+		return nil, err
+	}
+	if tileH <= 0 || tileW <= 0 {
+		return nil, fmt.Errorf("array: bad tile size %dx%d", tileH, tileW)
+	}
+	h, w := a.Height(), a.Width()
+	oh := (h + tileH - 1) / tileH
+	ow := (w + tileW - 1) / tileW
+	out := MustNew(a.Name, Dim{a.Dims[0].Name, oh}, Dim{a.Dims[1].Name, ow})
+	for ty := 0; ty < oh; ty++ {
+		for tx := 0; tx < ow; tx++ {
+			var sum, min, max float64
+			min, max = math.Inf(1), math.Inf(-1)
+			count := 0
+			for y := ty * tileH; y < (ty+1)*tileH && y < h; y++ {
+				for x := tx * tileW; x < (tx+1)*tileW && x < w; x++ {
+					if a.IsNull(y*w + x) {
+						continue
+					}
+					v := a.At2(y, x)
+					sum += v
+					if v < min {
+						min = v
+					}
+					if v > max {
+						max = v
+					}
+					count++
+				}
+			}
+			var v float64
+			switch agg {
+			case "avg":
+				if count > 0 {
+					v = sum / float64(count)
+				}
+			case "min":
+				if count > 0 {
+					v = min
+				}
+			case "max":
+				if count > 0 {
+					v = max
+				}
+			case "sum":
+				v = sum
+			default:
+				return nil, fmt.Errorf("array: unknown tile aggregate %q", agg)
+			}
+			out.Set2(ty, tx, v)
+		}
+	}
+	return out, nil
+}
+
+// Component is a connected group of non-zero cells in a binary mask.
+type Component struct {
+	// Label is the 1-based component id.
+	Label int
+	// Cells holds (y, x) coordinates of member cells.
+	Cells [][2]int
+	// MinY, MinX, MaxY, MaxX bound the component.
+	MinY, MinX, MaxY, MaxX int
+}
+
+// Size reports the number of member cells.
+func (c *Component) Size() int { return len(c.Cells) }
+
+// ConnectedComponents labels the 4-connected components of non-zero cells
+// — grouping adjacent hot pixels into hotspot regions before geometry
+// generation.
+func (a *Array) ConnectedComponents() ([]Component, error) {
+	if err := a.check2D(); err != nil {
+		return nil, err
+	}
+	h, w := a.Height(), a.Width()
+	labels := make([]int, h*w)
+	var comps []Component
+	var stack [][2]int
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if labels[y*w+x] != 0 || a.At2(y, x) == 0 || a.IsNull(y*w+x) {
+				continue
+			}
+			id := len(comps) + 1
+			comp := Component{Label: id, MinY: y, MinX: x, MaxY: y, MaxX: x}
+			stack = stack[:0]
+			stack = append(stack, [2]int{y, x})
+			labels[y*w+x] = id
+			for len(stack) > 0 {
+				c := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				comp.Cells = append(comp.Cells, c)
+				if c[0] < comp.MinY {
+					comp.MinY = c[0]
+				}
+				if c[0] > comp.MaxY {
+					comp.MaxY = c[0]
+				}
+				if c[1] < comp.MinX {
+					comp.MinX = c[1]
+				}
+				if c[1] > comp.MaxX {
+					comp.MaxX = c[1]
+				}
+				for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+					ny, nx := c[0]+d[0], c[1]+d[1]
+					if ny < 0 || ny >= h || nx < 0 || nx >= w {
+						continue
+					}
+					if labels[ny*w+nx] == 0 && a.At2(ny, nx) != 0 && !a.IsNull(ny*w+nx) {
+						labels[ny*w+nx] = id
+						stack = append(stack, [2]int{ny, nx})
+					}
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	return comps, nil
+}

@@ -1,0 +1,699 @@
+// Package column implements the MonetDB-style columnar kernel the TELEIOS
+// database tier runs on: typed columns (BATs with a void head — the value
+// vector plus implicit dense object identifiers), column-at-a-time
+// operators producing materialised intermediate results, tables with
+// schemas, and binary persistence.
+//
+// Both the SciQL array engine (internal/array, internal/sciql) and the
+// Strabon triple store (internal/strabon) sit directly on this package,
+// mirroring the paper's architecture where SciQL and Strabon share MonetDB
+// as their execution substrate.
+package column
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Type enumerates column value types.
+type Type int
+
+// Column types.
+const (
+	Int64 Type = iota + 1
+	Float64
+	String
+	Bool
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "VARCHAR"
+	case Bool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("TYPE(%d)", int(t))
+	}
+}
+
+// Column is a typed value vector — the tail of a MonetDB BAT whose head is
+// the implicit dense sequence 0..n-1 (a "void" head). Exactly one of the
+// data slices is in use, selected by Typ. Nulls are tracked in an optional
+// validity bitmap (nil means all valid).
+type Column struct {
+	Typ   Type
+	ints  []int64
+	flts  []float64
+	strs  []string
+	bools []bool
+	// nulls[i] set means row i is NULL. Lazily allocated.
+	nulls []bool
+}
+
+// NewInt64 wraps vs (not copied) as an Int64 column.
+func NewInt64(vs []int64) *Column { return &Column{Typ: Int64, ints: vs} }
+
+// NewFloat64 wraps vs as a Float64 column.
+func NewFloat64(vs []float64) *Column { return &Column{Typ: Float64, flts: vs} }
+
+// NewString wraps vs as a String column.
+func NewString(vs []string) *Column { return &Column{Typ: String, strs: vs} }
+
+// NewBool wraps vs as a Bool column.
+func NewBool(vs []bool) *Column { return &Column{Typ: Bool, bools: vs} }
+
+// NewEmpty returns an empty column of type t.
+func NewEmpty(t Type) *Column { return &Column{Typ: t} }
+
+// Len reports the number of rows.
+func (c *Column) Len() int {
+	switch c.Typ {
+	case Int64:
+		return len(c.ints)
+	case Float64:
+		return len(c.flts)
+	case String:
+		return len(c.strs)
+	case Bool:
+		return len(c.bools)
+	}
+	return 0
+}
+
+// IsNull reports whether row i is NULL.
+func (c *Column) IsNull(i int) bool { return c.nulls != nil && c.nulls[i] }
+
+// SetNull marks row i as NULL.
+func (c *Column) SetNull(i int) {
+	if c.nulls == nil {
+		c.nulls = make([]bool, c.Len())
+	}
+	c.nulls[i] = true
+}
+
+// Int returns the int64 value at row i (column must be Int64).
+func (c *Column) Int(i int) int64 { return c.ints[i] }
+
+// Float returns the float64 value at row i (column must be Float64).
+func (c *Column) Float(i int) float64 { return c.flts[i] }
+
+// Str returns the string value at row i (column must be String).
+func (c *Column) Str(i int) string { return c.strs[i] }
+
+// BoolAt returns the bool value at row i (column must be Bool).
+func (c *Column) BoolAt(i int) bool { return c.bools[i] }
+
+// Ints exposes the backing int64 slice (Int64 columns only; nil otherwise).
+func (c *Column) Ints() []int64 { return c.ints }
+
+// Floats exposes the backing float64 slice.
+func (c *Column) Floats() []float64 { return c.flts }
+
+// Strs exposes the backing string slice.
+func (c *Column) Strs() []string { return c.strs }
+
+// Bools exposes the backing bool slice.
+func (c *Column) Bools() []bool { return c.bools }
+
+// AppendInt appends v (Int64 columns).
+func (c *Column) AppendInt(v int64) {
+	c.ints = append(c.ints, v)
+	if c.nulls != nil {
+		c.nulls = append(c.nulls, false)
+	}
+}
+
+// AppendFloat appends v (Float64 columns).
+func (c *Column) AppendFloat(v float64) {
+	c.flts = append(c.flts, v)
+	if c.nulls != nil {
+		c.nulls = append(c.nulls, false)
+	}
+}
+
+// AppendStr appends v (String columns).
+func (c *Column) AppendStr(v string) {
+	c.strs = append(c.strs, v)
+	if c.nulls != nil {
+		c.nulls = append(c.nulls, false)
+	}
+}
+
+// AppendBool appends v (Bool columns).
+func (c *Column) AppendBool(v bool) {
+	c.bools = append(c.bools, v)
+	if c.nulls != nil {
+		c.nulls = append(c.nulls, false)
+	}
+}
+
+// AppendNull appends a NULL row.
+func (c *Column) AppendNull() {
+	switch c.Typ {
+	case Int64:
+		c.ints = append(c.ints, 0)
+	case Float64:
+		c.flts = append(c.flts, 0)
+	case String:
+		c.strs = append(c.strs, "")
+	case Bool:
+		c.bools = append(c.bools, false)
+	}
+	if c.nulls == nil {
+		c.nulls = make([]bool, c.Len()-1)
+	}
+	c.nulls = append(c.nulls, true)
+}
+
+// Value returns the value at row i as an interface (nil for NULL).
+func (c *Column) Value(i int) any {
+	if c.IsNull(i) {
+		return nil
+	}
+	switch c.Typ {
+	case Int64:
+		return c.ints[i]
+	case Float64:
+		return c.flts[i]
+	case String:
+		return c.strs[i]
+	case Bool:
+		return c.bools[i]
+	}
+	return nil
+}
+
+// AppendValue appends v, coercing numerically compatible types; nil appends
+// NULL. It returns an error for incompatible values.
+func (c *Column) AppendValue(v any) error {
+	if v == nil {
+		c.AppendNull()
+		return nil
+	}
+	switch c.Typ {
+	case Int64:
+		switch x := v.(type) {
+		case int64:
+			c.AppendInt(x)
+		case int:
+			c.AppendInt(int64(x))
+		case float64:
+			c.AppendInt(int64(x))
+		default:
+			return fmt.Errorf("column: cannot append %T to BIGINT", v)
+		}
+	case Float64:
+		switch x := v.(type) {
+		case float64:
+			c.AppendFloat(x)
+		case int64:
+			c.AppendFloat(float64(x))
+		case int:
+			c.AppendFloat(float64(x))
+		default:
+			return fmt.Errorf("column: cannot append %T to DOUBLE", v)
+		}
+	case String:
+		s, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("column: cannot append %T to VARCHAR", v)
+		}
+		c.AppendStr(s)
+	case Bool:
+		b, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("column: cannot append %T to BOOLEAN", v)
+		}
+		c.AppendBool(b)
+	}
+	return nil
+}
+
+// Gather materialises the rows of c at the given positions — MonetDB's
+// projection (leftfetchjoin) primitive.
+func (c *Column) Gather(positions []int) *Column {
+	out := &Column{Typ: c.Typ}
+	switch c.Typ {
+	case Int64:
+		out.ints = make([]int64, len(positions))
+		for i, p := range positions {
+			out.ints[i] = c.ints[p]
+		}
+	case Float64:
+		out.flts = make([]float64, len(positions))
+		for i, p := range positions {
+			out.flts[i] = c.flts[p]
+		}
+	case String:
+		out.strs = make([]string, len(positions))
+		for i, p := range positions {
+			out.strs[i] = c.strs[p]
+		}
+	case Bool:
+		out.bools = make([]bool, len(positions))
+		for i, p := range positions {
+			out.bools[i] = c.bools[p]
+		}
+	}
+	if c.nulls != nil {
+		out.nulls = make([]bool, len(positions))
+		for i, p := range positions {
+			out.nulls[i] = c.nulls[p]
+		}
+	}
+	return out
+}
+
+// Slice returns a view of rows [lo, hi) (shared backing arrays).
+func (c *Column) Slice(lo, hi int) *Column {
+	out := &Column{Typ: c.Typ}
+	switch c.Typ {
+	case Int64:
+		out.ints = c.ints[lo:hi]
+	case Float64:
+		out.flts = c.flts[lo:hi]
+	case String:
+		out.strs = c.strs[lo:hi]
+	case Bool:
+		out.bools = c.bools[lo:hi]
+	}
+	if c.nulls != nil {
+		out.nulls = c.nulls[lo:hi]
+	}
+	return out
+}
+
+// CmpOp is a comparison operator for selections.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota + 1
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String returns the SQL spelling of the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// SelectInt scans an Int64 column and returns the positions where
+// value <op> v holds (NULLs never match). This is the BAT select operator:
+// a full-column scan producing a candidate list.
+func (c *Column) SelectInt(op CmpOp, v int64) []int {
+	var out []int
+	for i, x := range c.ints {
+		if c.IsNull(i) {
+			continue
+		}
+		if cmpInt(x, v, op) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectFloat scans a Float64 column with predicate value <op> v.
+func (c *Column) SelectFloat(op CmpOp, v float64) []int {
+	var out []int
+	for i, x := range c.flts {
+		if c.IsNull(i) {
+			continue
+		}
+		if cmpFloat(x, v, op) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectStr scans a String column with predicate value <op> v.
+func (c *Column) SelectStr(op CmpOp, v string) []int {
+	var out []int
+	for i, x := range c.strs {
+		if c.IsNull(i) {
+			continue
+		}
+		if cmpStr(x, v, op) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectRangeInt returns positions with lo <= value <= hi.
+func (c *Column) SelectRangeInt(lo, hi int64) []int {
+	var out []int
+	for i, x := range c.ints {
+		if c.IsNull(i) {
+			continue
+		}
+		if x >= lo && x <= hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectRangeFloat returns positions with lo <= value <= hi.
+func (c *Column) SelectRangeFloat(lo, hi float64) []int {
+	var out []int
+	for i, x := range c.flts {
+		if c.IsNull(i) {
+			continue
+		}
+		if x >= lo && x <= hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectIn refines a candidate list: it keeps only the candidate positions
+// whose value satisfies <op> v. This is the candidate-list form of select
+// that MonetDB chains between predicates.
+func (c *Column) SelectIn(cands []int, op CmpOp, v any) ([]int, error) {
+	out := cands[:0:0]
+	for _, p := range cands {
+		if c.IsNull(p) {
+			continue
+		}
+		ok, err := c.cmpAt(p, op, v)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func (c *Column) cmpAt(i int, op CmpOp, v any) (bool, error) {
+	switch c.Typ {
+	case Int64:
+		switch x := v.(type) {
+		case int64:
+			return cmpInt(c.ints[i], x, op), nil
+		case int:
+			return cmpInt(c.ints[i], int64(x), op), nil
+		case float64:
+			return cmpFloat(float64(c.ints[i]), x, op), nil
+		}
+	case Float64:
+		switch x := v.(type) {
+		case float64:
+			return cmpFloat(c.flts[i], x, op), nil
+		case int64:
+			return cmpFloat(c.flts[i], float64(x), op), nil
+		case int:
+			return cmpFloat(c.flts[i], float64(x), op), nil
+		}
+	case String:
+		if x, ok := v.(string); ok {
+			return cmpStr(c.strs[i], x, op), nil
+		}
+	case Bool:
+		if x, ok := v.(bool); ok {
+			switch op {
+			case Eq:
+				return c.bools[i] == x, nil
+			case Ne:
+				return c.bools[i] != x, nil
+			}
+		}
+	}
+	return false, fmt.Errorf("column: cannot compare %s with %T", c.Typ, v)
+}
+
+func cmpInt(a, b int64, op CmpOp) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	}
+	return false
+}
+
+func cmpFloat(a, b float64, op CmpOp) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	}
+	return false
+}
+
+func cmpStr(a, b string, op CmpOp) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	}
+	return false
+}
+
+// SortedPerm returns a permutation of row positions that orders the column
+// ascending (NULLs first), implementing the BAT sort operator.
+func (c *Column) SortedPerm() []int {
+	perm := make([]int, c.Len())
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		i, j := perm[a], perm[b]
+		ni, nj := c.IsNull(i), c.IsNull(j)
+		if ni || nj {
+			return ni && !nj
+		}
+		switch c.Typ {
+		case Int64:
+			return c.ints[i] < c.ints[j]
+		case Float64:
+			return c.flts[i] < c.flts[j]
+		case String:
+			return c.strs[i] < c.strs[j]
+		case Bool:
+			return !c.bools[i] && c.bools[j]
+		}
+		return false
+	})
+	return perm
+}
+
+// HashJoinInt joins two Int64 columns on equality, returning parallel
+// position slices (left positions, right positions) for every match —
+// the BAT join returning an (oid, oid) pair list. The smaller column is
+// used as the hash build side.
+func HashJoinInt(left, right *Column) (lpos, rpos []int) {
+	if left.Typ != Int64 || right.Typ != Int64 {
+		return nil, nil
+	}
+	build, probe := left, right
+	swapped := false
+	if right.Len() < left.Len() {
+		build, probe = right, left
+		swapped = true
+	}
+	ht := make(map[int64][]int, build.Len())
+	for i, v := range build.ints {
+		if build.IsNull(i) {
+			continue
+		}
+		ht[v] = append(ht[v], i)
+	}
+	for j, v := range probe.ints {
+		if probe.IsNull(j) {
+			continue
+		}
+		for _, i := range ht[v] {
+			if swapped {
+				lpos = append(lpos, j)
+				rpos = append(rpos, i)
+			} else {
+				lpos = append(lpos, i)
+				rpos = append(rpos, j)
+			}
+		}
+	}
+	return lpos, rpos
+}
+
+// Aggregates ---------------------------------------------------------------
+
+// SumFloat sums a numeric column (Int64 or Float64), skipping NULLs.
+func (c *Column) SumFloat() float64 {
+	var sum float64
+	switch c.Typ {
+	case Int64:
+		for i, v := range c.ints {
+			if !c.IsNull(i) {
+				sum += float64(v)
+			}
+		}
+	case Float64:
+		for i, v := range c.flts {
+			if !c.IsNull(i) {
+				sum += v
+			}
+		}
+	}
+	return sum
+}
+
+// MinMaxFloat reports the min and max of a numeric column, skipping NULLs;
+// ok is false when all rows are NULL or the column is empty.
+func (c *Column) MinMaxFloat() (min, max float64, ok bool) {
+	min, max = math.Inf(1), math.Inf(-1)
+	get := func(i int) (float64, bool) {
+		if c.IsNull(i) {
+			return 0, false
+		}
+		switch c.Typ {
+		case Int64:
+			return float64(c.ints[i]), true
+		case Float64:
+			return c.flts[i], true
+		}
+		return 0, false
+	}
+	for i := 0; i < c.Len(); i++ {
+		if v, valid := get(i); valid {
+			ok = true
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return min, max, ok
+}
+
+// CountNonNull reports the number of non-NULL rows.
+func (c *Column) CountNonNull() int {
+	if c.nulls == nil {
+		return c.Len()
+	}
+	n := 0
+	for _, isNull := range c.nulls {
+		if !isNull {
+			n++
+		}
+	}
+	return n
+}
+
+// GroupBy computes dense group ids for the column: out[i] is the group of
+// row i, and the return values are (groupIDs, representative positions).
+// Strings and ints group by value; floats by bit pattern.
+func (c *Column) GroupBy() (groups []int, reps []int) {
+	groups = make([]int, c.Len())
+	next := 0
+	switch c.Typ {
+	case Int64:
+		seen := make(map[int64]int)
+		for i, v := range c.ints {
+			key := v
+			g, ok := seen[key]
+			if !ok {
+				g = next
+				next++
+				seen[key] = g
+				reps = append(reps, i)
+			}
+			groups[i] = g
+		}
+	case String:
+		seen := make(map[string]int)
+		for i, v := range c.strs {
+			g, ok := seen[v]
+			if !ok {
+				g = next
+				next++
+				seen[v] = g
+				reps = append(reps, i)
+			}
+			groups[i] = g
+		}
+	case Float64:
+		seen := make(map[uint64]int)
+		for i, v := range c.flts {
+			key := math.Float64bits(v)
+			g, ok := seen[key]
+			if !ok {
+				g = next
+				next++
+				seen[key] = g
+				reps = append(reps, i)
+			}
+			groups[i] = g
+		}
+	case Bool:
+		seen := make(map[bool]int)
+		for i, v := range c.bools {
+			g, ok := seen[v]
+			if !ok {
+				g = next
+				next++
+				seen[v] = g
+				reps = append(reps, i)
+			}
+			groups[i] = g
+		}
+	}
+	return groups, reps
+}

@@ -1,0 +1,56 @@
+package column
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Truncation fuzzing for the table snapshot format: every strict prefix
+// must error cleanly.
+func TestReadTableTruncated(t *testing.T) {
+	tbl := NewTable("t",
+		Field{"id", Int64}, Field{"v", Float64},
+		Field{"s", String}, Field{"b", Bool})
+	for i := 0; i < 5; i++ {
+		if err := tbl.AppendRow(int64(i), float64(i)/2, "row", i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl.Cols[2].SetNull(3)
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut += 3 {
+		if _, err := ReadTable(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("ReadTable succeeded on %d/%d byte prefix", cut, len(data))
+		}
+	}
+	got, err := ReadTable(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cols[2].IsNull(3) {
+		t.Fatal("null bitmap lost")
+	}
+}
+
+func TestReadTableUnknownType(t *testing.T) {
+	tbl := NewTable("t", Field{"id", Int64})
+	if err := tbl.AppendRow(int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The type byte follows magic(8) + nameLen(4)+name(1) + nCols(4) +
+	// nRows(8) + fieldNameLen(4)+fieldName(2): corrupt it.
+	idx := 8 + 4 + 1 + 4 + 8 + 4 + 2
+	data[idx] = 99
+	if _, err := ReadTable(bytes.NewReader(data)); err == nil {
+		t.Fatal("unknown column type should error")
+	}
+}

@@ -1,0 +1,286 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntersectRects(t *testing.T) {
+	a := Rect(0, 0, 4, 4)
+	b := Rect(2, 2, 6, 6)
+	got, err := IntersectPolygons(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("pieces = %d", len(got))
+	}
+	if !almostEq(got[0].Area(), 4, 1e-9) {
+		t.Fatalf("area = %g, want 4", got[0].Area())
+	}
+	env := got[0].Envelope()
+	if !almostEq(env.MinX, 2, 1e-9) || !almostEq(env.MaxX, 4, 1e-9) {
+		t.Fatalf("envelope = %+v", env)
+	}
+}
+
+func TestIntersectDisjoint(t *testing.T) {
+	got, err := IntersectPolygons(Rect(0, 0, 1, 1), Rect(5, 5, 6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("pieces = %d, want 0", len(got))
+	}
+}
+
+func TestIntersectNested(t *testing.T) {
+	outer := Rect(0, 0, 10, 10)
+	inner := Rect(2, 2, 4, 4)
+	got, err := IntersectPolygons(outer, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !almostEq(got[0].Area(), 4, 1e-9) {
+		t.Fatalf("nested intersection = %+v", got)
+	}
+	// Reverse argument order.
+	got, err = IntersectPolygons(inner, outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !almostEq(got[0].Area(), 4, 1e-9) {
+		t.Fatalf("nested intersection reversed = %+v", got)
+	}
+}
+
+func TestUnionRects(t *testing.T) {
+	a := Rect(0, 0, 4, 4)
+	b := Rect(2, 2, 6, 6)
+	got, err := UnionPolygons(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("pieces = %d", len(got))
+	}
+	// |A| + |B| - |A and B| = 16 + 16 - 4 = 28.
+	if !almostEq(got[0].Area(), 28, 1e-9) {
+		t.Fatalf("area = %g, want 28", got[0].Area())
+	}
+}
+
+func TestUnionDisjoint(t *testing.T) {
+	got, err := UnionPolygons(Rect(0, 0, 1, 1), Rect(5, 5, 6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("pieces = %d, want 2", len(got))
+	}
+}
+
+func TestDifferenceRects(t *testing.T) {
+	a := Rect(0, 0, 4, 4)
+	b := Rect(2, 2, 6, 6)
+	got, err := DifferencePolygons(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var area float64
+	for _, p := range got {
+		area += p.Area()
+	}
+	if !almostEq(area, 12, 1e-9) {
+		t.Fatalf("difference area = %g, want 12", area)
+	}
+	// The removed corner is gone.
+	for _, p := range got {
+		if pointPolygonLocation(Point{3, 3}, p) == 1 {
+			t.Fatal("removed region still present")
+		}
+	}
+}
+
+func TestDifferenceNestedMakesHole(t *testing.T) {
+	outer := Rect(0, 0, 10, 10)
+	inner := Rect(4, 4, 6, 6)
+	got, err := DifferencePolygons(outer, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("pieces = %d", len(got))
+	}
+	if !almostEq(got[0].Area(), 96, 1e-9) {
+		t.Fatalf("area = %g, want 96", got[0].Area())
+	}
+	if len(got[0].Holes) != 1 {
+		t.Fatalf("holes = %d, want 1", len(got[0].Holes))
+	}
+	if pointPolygonLocation(Point{5, 5}, got[0]) == 1 {
+		t.Fatal("hole interior should be outside")
+	}
+}
+
+func TestDifferenceSubjectInsideClip(t *testing.T) {
+	got, err := DifferencePolygons(Rect(2, 2, 3, 3), Rect(0, 0, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("pieces = %d, want 0", len(got))
+	}
+}
+
+func TestDifferenceDisjoint(t *testing.T) {
+	a := Rect(0, 0, 1, 1)
+	got, err := DifferencePolygons(a, Rect(5, 5, 6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !almostEq(got[0].Area(), 1, 1e-9) {
+		t.Fatalf("difference with disjoint = %+v", got)
+	}
+}
+
+func TestClipGridAlignedDegenerate(t *testing.T) {
+	// Shared edge between subject and clip: the degenerate case the
+	// perturbation ladder must resolve (grid-aligned satellite pixels).
+	a := Rect(0, 0, 4, 4)
+	b := Rect(4, 0, 8, 4) // shares the x=4 edge
+	inter, err := IntersectPolygons(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var area float64
+	for _, p := range inter {
+		area += p.Area()
+	}
+	if area > 0.001 {
+		t.Fatalf("edge-sharing rects intersection area = %g, want ~0", area)
+	}
+	// Identical rectangles.
+	same, err := IntersectPolygons(a, Rect(0, 0, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sArea float64
+	for _, p := range same {
+		sArea += p.Area()
+	}
+	if !almostEq(sArea, 16, 0.01) {
+		t.Fatalf("self intersection area = %g, want ~16", sArea)
+	}
+	// Vertex-on-edge.
+	c := NewPolygon(NewRing(Point{4, 2}, Point{8, 0}, Point{8, 4}))
+	inter2, err := IntersectPolygons(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a2 float64
+	for _, p := range inter2 {
+		a2 += p.Area()
+	}
+	if a2 > 0.01 {
+		t.Fatalf("vertex-touch intersection area = %g", a2)
+	}
+}
+
+func TestClipTriangles(t *testing.T) {
+	a := NewPolygon(NewRing(Point{0, 0}, Point{6, 0}, Point{3, 6}))
+	b := NewPolygon(NewRing(Point{0, 4}, Point{6, 4}, Point{3, -2}))
+	inter, err := IntersectPolygons(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var area float64
+	for _, p := range inter {
+		area += p.Area()
+	}
+	if area <= 0 || area >= math.Min(a.Area(), b.Area()) {
+		t.Fatalf("triangle intersection area = %g", area)
+	}
+	// Inclusion-exclusion with union.
+	un, err := UnionPolygons(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uArea float64
+	for _, p := range un {
+		uArea += p.Area()
+	}
+	if !almostEq(uArea, a.Area()+b.Area()-area, 0.01) {
+		t.Fatalf("inclusion-exclusion violated: union %g vs %g", uArea, a.Area()+b.Area()-area)
+	}
+}
+
+func TestClipAreaInvariants(t *testing.T) {
+	// Property: for random rect pairs, |A∩B| + |A\B| == |A| (within tol).
+	for i := 0; i < 40; i++ {
+		x := float64(i%5) * 1.3
+		y := float64(i%7) * 0.7
+		a := Rect(0, 0, 5, 5)
+		b := Rect(x, y, x+3.1, y+2.3)
+		inter, err := IntersectPolygons(a, b)
+		if err != nil {
+			t.Fatalf("case %d intersect: %v", i, err)
+		}
+		diff, err := DifferencePolygons(a, b)
+		if err != nil {
+			t.Fatalf("case %d difference: %v", i, err)
+		}
+		var iA, dA float64
+		for _, p := range inter {
+			iA += p.Area()
+		}
+		for _, p := range diff {
+			dA += p.Area()
+		}
+		if !almostEq(iA+dA, 25, 0.01) {
+			t.Fatalf("case %d: %g + %g != 25 (b at %g,%g)", i, iA, dA, x, y)
+		}
+	}
+}
+
+func TestGeometryLevelOps(t *testing.T) {
+	a := MultiPolygon{Polygons: []Polygon{Rect(0, 0, 2, 2), Rect(10, 10, 12, 12)}}
+	b := Rect(1, 1, 11, 11)
+	inter, err := Intersection(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(Area(inter), 2, 1e-6) {
+		t.Fatalf("multi intersection area = %g, want 2", Area(inter))
+	}
+	diff, err := Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(Area(diff), 6, 1e-6) {
+		t.Fatalf("multi difference area = %g, want 6", Area(diff))
+	}
+	un, err := Union(Rect(0, 0, 1, 1), Rect(5, 5, 6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(Area(un), 2, 1e-9) {
+		t.Fatalf("union area = %g", Area(un))
+	}
+}
+
+func TestClipEmptyInputs(t *testing.T) {
+	a := Rect(0, 0, 1, 1)
+	if got, err := IntersectPolygons(a, Polygon{}); err != nil || len(got) != 0 {
+		t.Fatalf("intersect with empty: %v %v", got, err)
+	}
+	if got, err := DifferencePolygons(a, Polygon{}); err != nil || len(got) != 1 {
+		t.Fatalf("difference with empty: %v %v", got, err)
+	}
+	if got, err := UnionPolygons(Polygon{}, a); err != nil || len(got) != 1 {
+		t.Fatalf("union with empty: %v %v", got, err)
+	}
+	if got, err := IntersectPolygons(Polygon{}, Polygon{}); err != nil || len(got) != 0 {
+		t.Fatalf("both empty: %v %v", got, err)
+	}
+}

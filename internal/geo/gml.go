@@ -1,0 +1,75 @@
+package geo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GML serialisation. stRDF admits both WKT and GML literals (the paper's
+// stRDF uses OGC WKT and GML for geospatial values); we emit the GML 3.2
+// subset matching our geometry types, and parse it back.
+
+// GML serialises g as a GML 3.2 fragment with the given SRID
+// (srsName="EPSG:<srid>").
+func GML(g Geometry, srid SRID) string {
+	var b strings.Builder
+	writeGML(&b, g, srid)
+	return b.String()
+}
+
+func writeGML(b *strings.Builder, g Geometry, srid SRID) {
+	srs := fmt.Sprintf(` srsName="EPSG:%d"`, int(srid))
+	switch t := g.(type) {
+	case Point:
+		fmt.Fprintf(b, `<gml:Point%s><gml:pos>%s %s</gml:pos></gml:Point>`, srs, fmtFloat(t.X), fmtFloat(t.Y))
+	case MultiPoint:
+		fmt.Fprintf(b, `<gml:MultiPoint%s>`, srs)
+		for _, p := range t.Points {
+			b.WriteString(`<gml:pointMember>`)
+			writeGML(b, p, srid)
+			b.WriteString(`</gml:pointMember>`)
+		}
+		b.WriteString(`</gml:MultiPoint>`)
+	case LineString:
+		fmt.Fprintf(b, `<gml:LineString%s><gml:posList>%s</gml:posList></gml:LineString>`, srs, posList(t.Coords))
+	case MultiLineString:
+		fmt.Fprintf(b, `<gml:MultiCurve%s>`, srs)
+		for _, l := range t.Lines {
+			b.WriteString(`<gml:curveMember>`)
+			writeGML(b, l, srid)
+			b.WriteString(`</gml:curveMember>`)
+		}
+		b.WriteString(`</gml:MultiCurve>`)
+	case Polygon:
+		fmt.Fprintf(b, `<gml:Polygon%s>`, srs)
+		fmt.Fprintf(b, `<gml:exterior><gml:LinearRing><gml:posList>%s</gml:posList></gml:LinearRing></gml:exterior>`, posList(t.Exterior.Coords))
+		for _, h := range t.Holes {
+			fmt.Fprintf(b, `<gml:interior><gml:LinearRing><gml:posList>%s</gml:posList></gml:LinearRing></gml:interior>`, posList(h.Coords))
+		}
+		b.WriteString(`</gml:Polygon>`)
+	case MultiPolygon:
+		fmt.Fprintf(b, `<gml:MultiSurface%s>`, srs)
+		for _, p := range t.Polygons {
+			b.WriteString(`<gml:surfaceMember>`)
+			writeGML(b, p, srid)
+			b.WriteString(`</gml:surfaceMember>`)
+		}
+		b.WriteString(`</gml:MultiSurface>`)
+	case GeometryCollection:
+		fmt.Fprintf(b, `<gml:MultiGeometry%s>`, srs)
+		for _, m := range t.Geometries {
+			b.WriteString(`<gml:geometryMember>`)
+			writeGML(b, m, srid)
+			b.WriteString(`</gml:geometryMember>`)
+		}
+		b.WriteString(`</gml:MultiGeometry>`)
+	}
+}
+
+func posList(cs []Point) string {
+	parts := make([]string, 0, 2*len(cs))
+	for _, c := range cs {
+		parts = append(parts, fmtFloat(c.X), fmtFloat(c.Y))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,296 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDistance(t *testing.T) {
+	if d := Distance(NewPoint(0, 0), NewPoint(3, 4)); d != 5 {
+		t.Fatalf("point distance = %g", d)
+	}
+	if d := Distance(Rect(0, 0, 1, 1), Rect(3, 0, 4, 1)); d != 2 {
+		t.Fatalf("rect distance = %g", d)
+	}
+	if d := Distance(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)); d != 0 {
+		t.Fatalf("overlapping distance = %g", d)
+	}
+	line := NewLineString(Point{0, 2}, Point{4, 2})
+	if d := Distance(NewPoint(2, 0), line); d != 2 {
+		t.Fatalf("point-line distance = %g", d)
+	}
+	// Distance to a point past the segment end uses the endpoint.
+	if d := Distance(NewPoint(6, 2), line); d != 2 {
+		t.Fatalf("endpoint distance = %g", d)
+	}
+	if !math.IsInf(Distance(Polygon{}, NewPoint(0, 0)), 1) {
+		t.Fatal("empty distance should be +Inf")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	c := Centroid(Rect(0, 0, 4, 2))
+	if !almostEq(c.X, 2, 1e-9) || !almostEq(c.Y, 1, 1e-9) {
+		t.Fatalf("rect centroid = %+v", c)
+	}
+	lc := Centroid(NewLineString(Point{0, 0}, Point{4, 0}))
+	if !almostEq(lc.X, 2, 1e-9) || !almostEq(lc.Y, 0, 1e-9) {
+		t.Fatalf("line centroid = %+v", lc)
+	}
+	mc := Centroid(MultiPoint{Points: []Point{{0, 0}, {2, 2}}})
+	if !almostEq(mc.X, 1, 1e-9) {
+		t.Fatalf("multipoint centroid = %+v", mc)
+	}
+	// Donut centroid stays at center by symmetry.
+	donut := NewPolygon(
+		NewRing(Point{0, 0}, Point{10, 0}, Point{10, 10}, Point{0, 10}),
+		NewRing(Point{4, 4}, Point{6, 4}, Point{6, 6}, Point{4, 6}),
+	)
+	dc := Centroid(donut)
+	if !almostEq(dc.X, 5, 1e-9) || !almostEq(dc.Y, 5, 1e-9) {
+		t.Fatalf("donut centroid = %+v", dc)
+	}
+	// Asymmetric hole pulls the centroid away.
+	lop := NewPolygon(
+		NewRing(Point{0, 0}, Point{10, 0}, Point{10, 10}, Point{0, 10}),
+		NewRing(Point{6, 4}, Point{9, 4}, Point{9, 6}, Point{6, 6}),
+	)
+	lc2 := Centroid(lop)
+	if lc2.X >= 5 {
+		t.Fatalf("hole on the right should pull centroid left: %+v", lc2)
+	}
+}
+
+func TestAreaLength(t *testing.T) {
+	if Area(Rect(0, 0, 3, 3)) != 9 {
+		t.Fatal("rect area")
+	}
+	if Area(NewLineString(Point{0, 0}, Point{1, 1})) != 0 {
+		t.Fatal("line area should be 0")
+	}
+	if Length(NewLineString(Point{0, 0}, Point{0, 5})) != 5 {
+		t.Fatal("line length")
+	}
+	if Length(Rect(0, 0, 1, 1)) != 4 {
+		t.Fatal("rect perimeter")
+	}
+	gc := GeometryCollection{Geometries: []Geometry{Rect(0, 0, 2, 2), Rect(5, 5, 6, 6)}}
+	if Area(gc) != 5 {
+		t.Fatal("collection area")
+	}
+}
+
+func TestBufferPoint(t *testing.T) {
+	b := Buffer(NewPoint(0, 0), 1, 8)
+	p, ok := b.(Polygon)
+	if !ok {
+		t.Fatalf("buffer type %T", b)
+	}
+	// Area approaches pi from below.
+	if p.Area() < 3.0 || p.Area() > math.Pi {
+		t.Fatalf("circle area = %g", p.Area())
+	}
+	if !Within(NewPoint(0.5, 0.5), p) {
+		t.Fatal("interior point of buffer")
+	}
+	if Within(NewPoint(1.2, 0), p) {
+		t.Fatal("exterior point of buffer")
+	}
+}
+
+func TestBufferLine(t *testing.T) {
+	l := NewLineString(Point{0, 0}, Point{10, 0})
+	b := Buffer(l, 1, 8)
+	area := Area(b)
+	// Capsule area = 2*d*len + pi*d^2 = 20 + pi.
+	want := 20 + math.Pi
+	if !almostEq(area, want, 0.5) {
+		t.Fatalf("capsule area = %g, want ~%g", area, want)
+	}
+	if !Intersects(b, NewPoint(5, 0.9)) {
+		t.Fatal("point inside capsule")
+	}
+	if Intersects(b, NewPoint(5, 1.5)) {
+		t.Fatal("point outside capsule")
+	}
+}
+
+func TestBufferPolygonGrows(t *testing.T) {
+	p := Rect(0, 0, 4, 4)
+	b := Buffer(p, 1, 4)
+	if Area(b) <= p.Area() {
+		t.Fatalf("buffered area %g should exceed %g", Area(b), p.Area())
+	}
+	if !Within(p, b) {
+		t.Fatal("original should lie within its outward buffer")
+	}
+}
+
+func TestBufferZeroAndEmpty(t *testing.T) {
+	p := Rect(0, 0, 1, 1)
+	if g := Buffer(p, 0, 8); !Equals(g, p) {
+		t.Fatal("zero buffer should be identity")
+	}
+	if g := Buffer(Polygon{}, 1, 8); !g.IsEmpty() {
+		t.Fatal("buffer of empty should be empty")
+	}
+	if g := Buffer(p, -1, 8); !g.IsEmpty() {
+		t.Fatal("negative buffer approximated as empty")
+	}
+}
+
+func TestConvexHull(t *testing.T) {
+	mp := MultiPoint{Points: []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}}}
+	h := ConvexHull(mp)
+	p, ok := h.(Polygon)
+	if !ok {
+		t.Fatalf("hull type %T", h)
+	}
+	if p.Area() != 16 {
+		t.Fatalf("hull area = %g, want 16", p.Area())
+	}
+	// Degenerate cases.
+	if _, ok := ConvexHull(NewPoint(1, 1)).(Point); !ok {
+		t.Fatal("single point hull")
+	}
+	if _, ok := ConvexHull(MultiPoint{Points: []Point{{0, 0}, {1, 1}}}).(LineString); !ok {
+		t.Fatal("two point hull")
+	}
+	// Collinear points.
+	col := MultiPoint{Points: []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}}}
+	if _, ok := ConvexHull(col).(LineString); !ok {
+		t.Fatal("collinear hull should be a line")
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	// Nearly straight line with a tiny wiggle collapses.
+	l := NewLineString(Point{0, 0}, Point{1, 0.001}, Point{2, -0.001}, Point{3, 0})
+	s := Simplify(l, 0.01).(LineString)
+	if len(s.Coords) != 2 {
+		t.Fatalf("simplified to %d points", len(s.Coords))
+	}
+	// A real corner survives.
+	corner := NewLineString(Point{0, 0}, Point{5, 0}, Point{5, 5})
+	sc := Simplify(corner, 0.01).(LineString)
+	if len(sc.Coords) != 3 {
+		t.Fatalf("corner dropped: %d points", len(sc.Coords))
+	}
+	// Polygon ring keeps closure.
+	p := Rect(0, 0, 10, 10)
+	sp := Simplify(p, 0.5).(Polygon)
+	if err := Validate(sp); err != nil {
+		t.Fatalf("simplified polygon invalid: %v", err)
+	}
+	if sp.Area() != 100 {
+		t.Fatalf("area changed: %g", sp.Area())
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	p := NewPoint(23.7275, 37.9838) // Athens
+	for _, to := range []SRID{SRIDWebMercator, SRIDGreekGrid} {
+		g, err := Transform(p, SRIDWGS84, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Transform(g, to, SRIDWGS84)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := back.(Point)
+		if !almostEq(q.X, p.X, 1e-6) || !almostEq(q.Y, p.Y, 1e-6) {
+			t.Fatalf("SRID %d round trip %+v -> %+v", to, p, q)
+		}
+	}
+}
+
+func TestTransformIdentityAndErrors(t *testing.T) {
+	p := NewPoint(1, 2)
+	g, err := Transform(p, SRIDWGS84, SRIDWGS84)
+	if err != nil || g.(Point) != p {
+		t.Fatalf("identity transform: %v %v", g, err)
+	}
+	if _, err := Transform(p, SRID(9999), SRIDWGS84); err == nil {
+		t.Fatal("unknown source SRID should error")
+	}
+	if _, err := Transform(p, SRIDWGS84, SRID(9999)); err == nil {
+		t.Fatal("unknown target SRID should error")
+	}
+	// CRS84 aliases 4326.
+	g, err = Transform(p, SRIDCRS84, SRIDWGS84)
+	if err != nil || g.(Point) != p {
+		t.Fatal("CRS84 alias")
+	}
+}
+
+func TestTransformPolygonPreservesTopology(t *testing.T) {
+	poly := Rect(23, 37, 24, 38)
+	g, err := Transform(poly, SRIDWGS84, SRIDWebMercator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := g.(Polygon)
+	if err := Validate(tp); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Area() <= 0 {
+		t.Fatal("projected polygon should have positive area")
+	}
+}
+
+func TestHaversine(t *testing.T) {
+	athens := NewPoint(23.7275, 37.9838)
+	thessaloniki := NewPoint(22.9444, 40.6401)
+	d := HaversineMeters(athens, thessaloniki)
+	// Real-world distance is ~300 km.
+	if d < 280e3 || d > 320e3 {
+		t.Fatalf("Athens-Thessaloniki = %g m", d)
+	}
+	if HaversineMeters(athens, athens) != 0 {
+		t.Fatal("self distance")
+	}
+}
+
+func TestGeodesicDistanceMeters(t *testing.T) {
+	a := NewPoint(23.0, 38.0)
+	b := NewPoint(23.0, 38.1) // 0.1 deg lat ~ 11.1 km
+	d := GeodesicDistanceMeters(a, b)
+	if d < 10e3 || d > 12.5e3 {
+		t.Fatalf("0.1 deg lat = %g m", d)
+	}
+	if GeodesicDistanceMeters(Rect(22, 37, 24, 39), a) != 0 {
+		t.Fatal("contained point distance should be 0")
+	}
+}
+
+func TestBufferMeters(t *testing.T) {
+	site := NewPoint(22.0, 37.5)
+	zone := BufferMeters(site, 2000, 8) // the paper's "within 2km" radius
+	if zone.IsEmpty() {
+		t.Fatal("buffer empty")
+	}
+	near := NewPoint(22.015, 37.5) // ~1.3 km east
+	far := NewPoint(22.05, 37.5)   // ~4.4 km east
+	if !Intersects(zone, near) {
+		t.Fatal("1.3km point should be inside 2km buffer")
+	}
+	if Intersects(zone, far) {
+		t.Fatal("4.4km point should be outside 2km buffer")
+	}
+}
+
+func TestAreaSquareMeters(t *testing.T) {
+	// 0.01 x 0.01 degree box near lat 38: ~ (1.11km * cos38) * 1.11km.
+	box := Rect(23.0, 38.0, 23.01, 38.01)
+	a := AreaSquareMeters(box)
+	want := 1.11e3 * math.Cos(38*math.Pi/180) * 1.11e3
+	if a < want*0.9 || a > want*1.1 {
+		t.Fatalf("area = %g, want ~%g", a, want)
+	}
+	if AreaSquareMeters(Polygon{}) != 0 {
+		t.Fatal("empty area")
+	}
+}

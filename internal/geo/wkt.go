@@ -1,0 +1,422 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WKT serialisation -----------------------------------------------------------
+
+// WKT implements Geometry for Point.
+func (p Point) WKT() string {
+	if p.IsEmpty() {
+		return "POINT EMPTY"
+	}
+	return "POINT (" + coordWKT(p) + ")"
+}
+
+// WKT implements Geometry for MultiPoint.
+func (m MultiPoint) WKT() string {
+	if m.IsEmpty() {
+		return "MULTIPOINT EMPTY"
+	}
+	parts := make([]string, len(m.Points))
+	for i, p := range m.Points {
+		parts[i] = "(" + coordWKT(p) + ")"
+	}
+	return "MULTIPOINT (" + strings.Join(parts, ", ") + ")"
+}
+
+// WKT implements Geometry for LineString.
+func (l LineString) WKT() string {
+	if l.IsEmpty() {
+		return "LINESTRING EMPTY"
+	}
+	return "LINESTRING " + coordsWKT(l.Coords)
+}
+
+// WKT implements Geometry for MultiLineString.
+func (m MultiLineString) WKT() string {
+	if m.IsEmpty() {
+		return "MULTILINESTRING EMPTY"
+	}
+	parts := make([]string, len(m.Lines))
+	for i, l := range m.Lines {
+		parts[i] = coordsWKT(l.Coords)
+	}
+	return "MULTILINESTRING (" + strings.Join(parts, ", ") + ")"
+}
+
+// WKT implements Geometry for Polygon.
+func (p Polygon) WKT() string {
+	if p.IsEmpty() {
+		return "POLYGON EMPTY"
+	}
+	return "POLYGON " + polyBodyWKT(p)
+}
+
+// WKT implements Geometry for MultiPolygon.
+func (m MultiPolygon) WKT() string {
+	if m.IsEmpty() {
+		return "MULTIPOLYGON EMPTY"
+	}
+	parts := make([]string, len(m.Polygons))
+	for i, p := range m.Polygons {
+		parts[i] = polyBodyWKT(p)
+	}
+	return "MULTIPOLYGON (" + strings.Join(parts, ", ") + ")"
+}
+
+// WKT implements Geometry for GeometryCollection.
+func (g GeometryCollection) WKT() string {
+	if g.IsEmpty() {
+		return "GEOMETRYCOLLECTION EMPTY"
+	}
+	parts := make([]string, len(g.Geometries))
+	for i, m := range g.Geometries {
+		parts[i] = m.WKT()
+	}
+	return "GEOMETRYCOLLECTION (" + strings.Join(parts, ", ") + ")"
+}
+
+func coordWKT(p Point) string {
+	return fmtFloat(p.X) + " " + fmtFloat(p.Y)
+}
+
+func coordsWKT(cs []Point) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = coordWKT(c)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func polyBodyWKT(p Polygon) string {
+	parts := make([]string, 0, 1+len(p.Holes))
+	parts = append(parts, coordsWKT(p.Exterior.Coords))
+	for _, h := range p.Holes {
+		parts = append(parts, coordsWKT(h.Coords))
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func fmtFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WKT parsing -----------------------------------------------------------------
+
+// ParseWKT parses an OGC Well-Known Text geometry. It accepts the 2D subset
+// of the grammar (the TELEIOS demo uses only 2D data), case-insensitive
+// keywords, and EMPTY geometries.
+func ParseWKT(s string) (Geometry, error) {
+	p := &wktParser{src: s}
+	g, err := p.parseGeometry()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("geo: trailing input at offset %d in WKT %q", p.pos, truncate(s))
+	}
+	return g, nil
+}
+
+// MustParseWKT parses s and panics on error; for tests and literals.
+func MustParseWKT(s string) Geometry {
+	g, err := ParseWKT(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type wktParser struct {
+	src string
+	pos int
+}
+
+func truncate(s string) string {
+	if len(s) > 64 {
+		return s[:61] + "..."
+	}
+	return s
+}
+
+func (p *wktParser) errf(format string, args ...any) error {
+	return fmt.Errorf("geo: %s at offset %d in WKT %q", fmt.Sprintf(format, args...), p.pos, truncate(p.src))
+}
+
+func (p *wktParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *wktParser) word() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return strings.ToUpper(p.src[start:p.pos])
+}
+
+func (p *wktParser) peekWord() string {
+	save := p.pos
+	w := p.word()
+	p.pos = save
+	return w
+}
+
+func (p *wktParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *wktParser) tryByte(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *wktParser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if start == p.pos {
+		return 0, p.errf("expected number")
+	}
+	f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return 0, p.errf("bad number %q", p.src[start:p.pos])
+	}
+	return f, nil
+}
+
+func (p *wktParser) parseGeometry() (Geometry, error) {
+	switch tag := p.word(); tag {
+	case "POINT":
+		if p.peekWord() == "EMPTY" {
+			p.word()
+			return Point{X: math.NaN(), Y: math.NaN()}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		pt, err := p.coord()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return pt, nil
+	case "MULTIPOINT":
+		if p.peekWord() == "EMPTY" {
+			p.word()
+			return MultiPoint{}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var pts []Point
+		for {
+			// Both "MULTIPOINT ((1 2), (3 4))" and "MULTIPOINT (1 2, 3 4)"
+			// are legal WKT.
+			wrapped := p.tryByte('(')
+			pt, err := p.coord()
+			if err != nil {
+				return nil, err
+			}
+			if wrapped {
+				if err := p.expect(')'); err != nil {
+					return nil, err
+				}
+			}
+			pts = append(pts, pt)
+			if !p.tryByte(',') {
+				break
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return MultiPoint{Points: pts}, nil
+	case "LINESTRING":
+		if p.peekWord() == "EMPTY" {
+			p.word()
+			return LineString{}, nil
+		}
+		cs, err := p.coordList()
+		if err != nil {
+			return nil, err
+		}
+		return LineString{Coords: cs}, nil
+	case "MULTILINESTRING":
+		if p.peekWord() == "EMPTY" {
+			p.word()
+			return MultiLineString{}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var lines []LineString
+		for {
+			cs, err := p.coordList()
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, LineString{Coords: cs})
+			if !p.tryByte(',') {
+				break
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return MultiLineString{Lines: lines}, nil
+	case "POLYGON":
+		if p.peekWord() == "EMPTY" {
+			p.word()
+			return Polygon{}, nil
+		}
+		return p.polygonBody()
+	case "MULTIPOLYGON":
+		if p.peekWord() == "EMPTY" {
+			p.word()
+			return MultiPolygon{}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var polys []Polygon
+		for {
+			poly, err := p.polygonBody()
+			if err != nil {
+				return nil, err
+			}
+			polys = append(polys, poly)
+			if !p.tryByte(',') {
+				break
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return MultiPolygon{Polygons: polys}, nil
+	case "GEOMETRYCOLLECTION":
+		if p.peekWord() == "EMPTY" {
+			p.word()
+			return GeometryCollection{}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var geoms []Geometry
+		for {
+			g, err := p.parseGeometry()
+			if err != nil {
+				return nil, err
+			}
+			geoms = append(geoms, g)
+			if !p.tryByte(',') {
+				break
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return GeometryCollection{Geometries: geoms}, nil
+	case "":
+		return nil, p.errf("empty WKT input")
+	default:
+		return nil, p.errf("unknown geometry tag %q", tag)
+	}
+}
+
+func (p *wktParser) coord() (Point, error) {
+	x, err := p.number()
+	if err != nil {
+		return Point{}, err
+	}
+	y, err := p.number()
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{X: x, Y: y}, nil
+}
+
+func (p *wktParser) coordList() ([]Point, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var cs []Point
+	for {
+		c, err := p.coord()
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+		if !p.tryByte(',') {
+			break
+		}
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+func (p *wktParser) polygonBody() (Polygon, error) {
+	if err := p.expect('('); err != nil {
+		return Polygon{}, err
+	}
+	var rings []Ring
+	for {
+		cs, err := p.coordList()
+		if err != nil {
+			return Polygon{}, err
+		}
+		if len(cs) < 4 {
+			return Polygon{}, p.errf("polygon ring needs at least 4 coordinates, got %d", len(cs))
+		}
+		if !cs[0].Equal(cs[len(cs)-1]) {
+			return Polygon{}, p.errf("polygon ring is not closed")
+		}
+		rings = append(rings, Ring{Coords: cs})
+		if !p.tryByte(',') {
+			break
+		}
+	}
+	if err := p.expect(')'); err != nil {
+		return Polygon{}, err
+	}
+	return NewPolygon(rings[0], rings[1:]...), nil
+}

@@ -1,0 +1,218 @@
+// Package noa implements the National Observatory of Athens fire
+// monitoring application of the demo: the hotspot processing chain
+// (ingestion, cropping, georeferencing, classification, generation of
+// hotspot geometries — Scenario 1), the stSPARQL-driven thematic
+// refinement of the products (Scenario 2), and the generation of fire
+// maps enriched with linked open data.
+package noa
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/geo"
+	"repro/internal/ingest"
+	"repro/internal/kdd"
+	"repro/internal/raster"
+	"repro/internal/sciql"
+)
+
+// Hotspot is one detected fire region in a product.
+type Hotspot struct {
+	// ID is unique within the product ("<frameID>/hs<k>").
+	ID string
+	// FrameID identifies the source acquisition.
+	FrameID string
+	// Time is the acquisition time.
+	Time time.Time
+	// Geometry is the WGS84 footprint of the detected region.
+	Geometry geo.Geometry
+	// Confidence in [0.5, 1).
+	Confidence float64
+	// Sensor names the instrument.
+	Sensor string
+	// PixelCount is the number of detected pixels.
+	PixelCount int
+}
+
+// Product is the output of one chain run over one frame.
+type Product struct {
+	FrameID  string
+	Time     time.Time
+	Sensor   string
+	GeoRef   raster.GeoRef
+	Hotspots []Hotspot
+	// Timings records per-stage wall time, keyed by stage name
+	// (ingest, crop, georeference, classify, geometry).
+	Timings map[string]time.Duration
+}
+
+// Chain is the NOA processing chain configuration.
+type Chain struct {
+	// Window is the geographic crop window (the area of interest).
+	Window geo.Envelope
+	// Classifier holds the hotspot detection thresholds.
+	Classifier kdd.HotspotClassifier
+	// TargetH and TargetW give the georeferenced product grid; zero keeps
+	// the crop's native resolution.
+	TargetH, TargetW int
+	// MinPixels drops components smaller than this (default 1).
+	MinPixels int
+}
+
+// DefaultChain returns the demo configuration: crop to the scene region
+// at native resolution with the default classifier.
+func DefaultChain(window geo.Envelope) Chain {
+	return Chain{Window: window, Classifier: kdd.DefaultHotspotClassifier(), MinPixels: 1}
+}
+
+// Run executes the chain on a frame: crop both thermal bands,
+// georeference them onto the target grid, classify, and vectorise the
+// connected components into hotspot geometries.
+func (c Chain) Run(f *raster.Frame) (*Product, error) {
+	p := &Product{
+		FrameID: f.ID,
+		Time:    f.Time,
+		Sensor:  f.Sensor,
+		Timings: map[string]time.Duration{},
+	}
+	stage := func(name string) func() {
+		start := time.Now()
+		return func() { p.Timings[name] += time.Since(start) }
+	}
+
+	// Crop.
+	done := stage("crop")
+	ir39, cropRef, err := ingest.Crop(f, raster.BandIR39, c.Window)
+	if err != nil {
+		return nil, fmt.Errorf("noa: crop IR_039: %w", err)
+	}
+	ir108, _, err := ingest.Crop(f, raster.BandIR108, c.Window)
+	if err != nil {
+		return nil, fmt.Errorf("noa: crop IR_108: %w", err)
+	}
+	done()
+
+	// Georeference.
+	done = stage("georeference")
+	gr := cropRef
+	if c.TargetH > 0 && c.TargetW > 0 {
+		dst := raster.GeoRef{
+			OriginX: cropRef.OriginX,
+			OriginY: cropRef.OriginY,
+			DX:      float64(ir39.Width()) * cropRef.DX / float64(c.TargetW),
+			DY:      float64(ir39.Height()) * cropRef.DY / float64(c.TargetH),
+			SRID:    cropRef.SRID,
+		}
+		ir39, err = ingest.Georeference(ir39, cropRef, dst, c.TargetH, c.TargetW)
+		if err != nil {
+			return nil, fmt.Errorf("noa: georeference: %w", err)
+		}
+		ir108, err = ingest.Georeference(ir108, cropRef, dst, c.TargetH, c.TargetW)
+		if err != nil {
+			return nil, fmt.Errorf("noa: georeference: %w", err)
+		}
+		gr = dst
+	}
+	p.GeoRef = gr
+	done()
+
+	// Classify.
+	done = stage("classify")
+	mask, err := c.Classifier.Classify(ir39, ir108)
+	if err != nil {
+		return nil, fmt.Errorf("noa: classify: %w", err)
+	}
+	done()
+
+	// Vectorise components into geometries.
+	done = stage("geometry")
+	hotspots, err := c.vectorize(f.ID, f.Time, f.Sensor, mask, ir39, ir108, gr)
+	if err != nil {
+		return nil, fmt.Errorf("noa: geometry: %w", err)
+	}
+	p.Hotspots = hotspots
+	done()
+	return p, nil
+}
+
+// vectorize groups detected pixels into components and dissolves each
+// component's pixel footprints into one geometry.
+func (c Chain) vectorize(frameID string, ts time.Time, sensor string,
+	mask, ir39, ir108 *array.Array, gr raster.GeoRef) ([]Hotspot, error) {
+	comps, err := mask.ConnectedComponents()
+	if err != nil {
+		return nil, err
+	}
+	minPix := c.MinPixels
+	if minPix < 1 {
+		minPix = 1
+	}
+	var out []Hotspot
+	for _, comp := range comps {
+		if comp.Size() < minPix {
+			continue
+		}
+		var confSum float64
+		for _, cell := range comp.Cells {
+			confSum += c.Classifier.Confidence(ir39.At2(cell[0], cell[1]), ir108.At2(cell[0], cell[1]))
+		}
+		geom := geo.Geometry(traceComponent(comp, gr))
+		out = append(out, Hotspot{
+			ID:         fmt.Sprintf("%s/hs%d", frameID, comp.Label),
+			FrameID:    frameID,
+			Time:       ts,
+			Geometry:   geom,
+			Confidence: confSum / float64(comp.Size()),
+			Sensor:     sensor,
+			PixelCount: comp.Size(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// RunSciQL executes the crop+classify core of the chain as SciQL
+// statements against an engine — the form the demo walks the user through
+// ("how SciQL queries are used to implement the NOA processing chains").
+// It registers the frame's thermal bands, evaluates the bi-spectral test
+// declaratively, and returns the resulting mask array object.
+func (c Chain) RunSciQL(eng *sciql.Engine, f *raster.Frame) (*sciql.ArrayObject, error) {
+	if err := ingest.RegisterFrame(eng, "frame", f); err != nil {
+		return nil, err
+	}
+	img, err := f.Band(raster.BandIR39)
+	if err != nil {
+		return nil, err
+	}
+	gr := f.GeoRef
+	r0, c0 := gr.LonLatToPixel(geo.Point{X: c.Window.MinX, Y: c.Window.MaxY})
+	r1, c1 := gr.LonLatToPixel(geo.Point{X: c.Window.MaxX, Y: c.Window.MinY})
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	r0, c0 = clamp(r0, img.Height()-1), clamp(c0, img.Width()-1)
+	r1, c1 = clamp(r1, img.Height()-1), clamp(c1, img.Width()-1)
+	// The chain as a declarative statement: dimension predicates crop,
+	// the aligned array join computes the bi-spectral test, CASE
+	// classifies.
+	stmt := fmt.Sprintf(`CREATE ARRAY hotspot_mask AS
+		SELECT a.y - %d AS y, a.x - %d AS x,
+		       CASE WHEN a.v >= %g AND a.v - b.v >= %g THEN 1.0 ELSE 0.0 END AS v
+		FROM frame_IR_039 a, frame_IR_108 b
+		WHERE a.y = b.y AND a.x = b.x
+		  AND a.y BETWEEN %d AND %d AND a.x BETWEEN %d AND %d`,
+		r0, c0, c.Classifier.AbsoluteK, c.Classifier.DeltaK, r0, r1, c0, c1)
+	if _, err := eng.Exec(stmt); err != nil {
+		return nil, err
+	}
+	return eng.Array("hotspot_mask")
+}

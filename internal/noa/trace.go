@@ -1,0 +1,172 @@
+package noa
+
+import (
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/geo"
+	"repro/internal/raster"
+)
+
+// Rectilinear boundary tracing: converts a 4-connected component of grid
+// cells into its exact outline polygon (exterior ring plus hole rings) by
+// following the component's boundary edges. This replaces pairwise
+// polygon unions of pixel footprints — it is exact, linear in the number
+// of boundary edges, and always yields a single valid polygon.
+
+type corner struct{ x, y int } // pixel-corner coordinates (y grows downward)
+
+type dirEdge struct {
+	from, to corner
+}
+
+// traceComponent returns the outline of a component as a polygon in
+// geographic coordinates. Cells are (row, col) pairs.
+func traceComponent(comp array.Component, gr raster.GeoRef) geo.Polygon {
+	cells := make(map[[2]int]bool, len(comp.Cells))
+	for _, c := range comp.Cells {
+		cells[c] = true
+	}
+	// Collect directed boundary edges with the component on the right in
+	// pixel coordinates (clockwise loops on screen = CCW geographically).
+	var edges []dirEdge
+	for _, c := range comp.Cells {
+		y, x := c[0], c[1]
+		if !cells[[2]int{y - 1, x}] { // top
+			edges = append(edges, dirEdge{corner{x, y}, corner{x + 1, y}})
+		}
+		if !cells[[2]int{y, x + 1}] { // right
+			edges = append(edges, dirEdge{corner{x + 1, y}, corner{x + 1, y + 1}})
+		}
+		if !cells[[2]int{y + 1, x}] { // bottom
+			edges = append(edges, dirEdge{corner{x + 1, y + 1}, corner{x, y + 1}})
+		}
+		if !cells[[2]int{y, x - 1}] { // left
+			edges = append(edges, dirEdge{corner{x, y + 1}, corner{x, y}})
+		}
+	}
+	// Index outgoing edges by start corner.
+	out := map[corner][]int{}
+	for i, e := range edges {
+		out[e.from] = append(out[e.from], i)
+	}
+	used := make([]bool, len(edges))
+	var loops [][]corner
+	for i := range edges {
+		if used[i] {
+			continue
+		}
+		loop := walkLoop(edges, out, used, i)
+		if len(loop) >= 4 {
+			loops = append(loops, loop)
+		}
+	}
+	// Convert loops to rings in geographic coordinates, dropping collinear
+	// intermediate corners.
+	rings := make([]geo.Ring, 0, len(loops))
+	for _, loop := range loops {
+		simplified := dropCollinear(loop)
+		cs := make([]geo.Point, 0, len(simplified)+1)
+		for _, c := range simplified {
+			cs = append(cs, geo.Point{
+				X: gr.OriginX + float64(c.x)*gr.DX,
+				Y: gr.OriginY - float64(c.y)*gr.DY,
+			})
+		}
+		cs = append(cs, cs[0])
+		rings = append(rings, geo.Ring{Coords: cs})
+	}
+	if len(rings) == 0 {
+		return geo.Polygon{}
+	}
+	// Largest ring is the exterior; the rest are holes.
+	sort.Slice(rings, func(i, j int) bool { return rings[i].Area() > rings[j].Area() })
+	return geo.NewPolygon(rings[0], rings[1:]...)
+}
+
+// walkLoop follows edges from edges[start] until the loop closes. At
+// corners with two outgoing edges (diagonal cell contact) it prefers the
+// sharpest right turn relative to the incoming direction, which keeps each
+// loop simple (non-self-touching).
+func walkLoop(edges []dirEdge, out map[corner][]int, used []bool, start int) []corner {
+	var loop []corner
+	cur := start
+	for {
+		used[cur] = true
+		e := edges[cur]
+		loop = append(loop, e.from)
+		next := -1
+		cands := out[e.to]
+		switch countUnused(cands, used) {
+		case 0:
+			return loop // open chain: malformed input; bail out
+		case 1:
+			for _, c := range cands {
+				if !used[c] {
+					next = c
+				}
+			}
+		default:
+			// Prefer the sharpest right turn (relative to incoming dir).
+			inDX, inDY := e.to.x-e.from.x, e.to.y-e.from.y
+			bestScore := -3
+			for _, c := range cands {
+				if used[c] {
+					continue
+				}
+				oDX, oDY := edges[c].to.x-edges[c].from.x, edges[c].to.y-edges[c].from.y
+				// Cross product in screen coords: positive = right turn
+				// (y grows downward).
+				cross := inDX*oDY - inDY*oDX
+				score := 0
+				switch {
+				case cross > 0:
+					score = 1 // right turn
+				case cross == 0:
+					score = 0 // straight
+				default:
+					score = -1 // left turn
+				}
+				if score > bestScore {
+					bestScore = score
+					next = c
+				}
+			}
+		}
+		if next < 0 || next == start {
+			return loop
+		}
+		cur = next
+	}
+}
+
+func countUnused(cands []int, used []bool) int {
+	n := 0
+	for _, c := range cands {
+		if !used[c] {
+			n++
+		}
+	}
+	return n
+}
+
+func dropCollinear(loop []corner) []corner {
+	if len(loop) < 3 {
+		return loop
+	}
+	var out []corner
+	n := len(loop)
+	for i := 0; i < n; i++ {
+		prev := loop[(i-1+n)%n]
+		cur := loop[i]
+		next := loop[(i+1)%n]
+		cross := (cur.x-prev.x)*(next.y-cur.y) - (cur.y-prev.y)*(next.x-cur.x)
+		if cross != 0 {
+			out = append(out, cur)
+		}
+	}
+	if len(out) < 3 {
+		return loop
+	}
+	return out
+}

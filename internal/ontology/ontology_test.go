@@ -1,0 +1,146 @@
+package ontology
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestSubsumption(t *testing.T) {
+	o := New()
+	o.AddSubClass("B", "A")
+	o.AddSubClass("C", "B")
+	o.AddSubClass("D", "B")
+	if !o.IsSubClassOf("C", "A") {
+		t.Fatal("transitive subclass")
+	}
+	if !o.IsSubClassOf("C", "C") {
+		t.Fatal("reflexive subclass")
+	}
+	if o.IsSubClassOf("A", "C") {
+		t.Fatal("inverse should not hold")
+	}
+	if o.IsSubClassOf("C", "D") {
+		t.Fatal("siblings are not subclasses")
+	}
+	supers := o.Superclasses("C")
+	if len(supers) != 2 || supers[0] != "A" || supers[1] != "B" {
+		t.Fatalf("superclasses = %v", supers)
+	}
+	subs := o.Subclasses("A")
+	if len(subs) != 3 {
+		t.Fatalf("subclasses = %v", subs)
+	}
+	if len(o.Subclasses("C")) != 0 {
+		t.Fatal("leaf has no subclasses")
+	}
+}
+
+func TestDuplicateSubclassIgnored(t *testing.T) {
+	o := New()
+	o.AddSubClass("B", "A")
+	o.AddSubClass("B", "A")
+	if got := o.Superclasses("B"); len(got) != 1 {
+		t.Fatalf("superclasses = %v", got)
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	o := New()
+	o.AddSubClass("B", "A")
+	o.AddSubClass("C", "A")
+	o.AddSubClass("D", "B")
+	o.AddSubClass("D", "C")
+	if !o.IsSubClassOf("D", "A") {
+		t.Fatal("diamond subsumption")
+	}
+	// A appears once despite two paths.
+	supers := o.Superclasses("D")
+	count := 0
+	for _, s := range supers {
+		if s == "A" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("A counted %d times", count)
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	o := New()
+	o.AddSubClass("A", "B")
+	o.AddSubClass("B", "C")
+	if err := o.Validate(); err != nil {
+		t.Fatalf("acyclic: %v", err)
+	}
+	o.AddSubClass("C", "A")
+	if err := o.Validate(); err == nil {
+		t.Fatal("cycle should be detected")
+	}
+}
+
+func TestLabelsAndClasses(t *testing.T) {
+	o := New()
+	o.AddClass("X", "the X")
+	if o.Label("X") != "the X" {
+		t.Fatal("label")
+	}
+	if o.Label("Y") != "" {
+		t.Fatal("missing label")
+	}
+	o.AddSubClass("Y", "X")
+	cs := o.Classes()
+	if len(cs) != 2 || cs[0] != "X" {
+		t.Fatalf("classes = %v", cs)
+	}
+}
+
+func TestTriplesRoundTrip(t *testing.T) {
+	o := LandCoverOntology()
+	triples := o.Triples()
+	if len(triples) == 0 {
+		t.Fatal("no triples")
+	}
+	back := FromTriples(triples)
+	if !back.IsSubClassOf(LandCover+"Lake", LandCover+"WaterBody") {
+		t.Fatal("subclass lost")
+	}
+	if !back.IsSubClassOf(LandCover+"ConiferousForest", LandCover+"Vegetation") {
+		t.Fatal("deep subclass lost")
+	}
+	if back.Label(LandCover+"Lake") != "Lake" {
+		t.Fatalf("label = %q", back.Label(LandCover+"Lake"))
+	}
+}
+
+func TestBuiltinOntologies(t *testing.T) {
+	lc := LandCoverOntology()
+	if err := lc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !lc.IsSubClassOf(LandCover+"Sea", LandCover+"LandCover") {
+		t.Fatal("sea is land cover")
+	}
+	mon := MonitoringOntology()
+	if err := mon.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !mon.IsSubClassOf(Monitoring+"RefinedHotspot", Monitoring+"Observation") {
+		t.Fatal("refined hotspot is an observation")
+	}
+	if !mon.IsSubClassOf(Monitoring+"ForestFire", Monitoring+"Event") {
+		t.Fatal("forest fire is an event")
+	}
+	// Property triples present.
+	found := false
+	for _, tr := range mon.Triples() {
+		if tr.P.Value == "http://www.w3.org/2000/01/rdf-schema#domain" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("property domains missing")
+	}
+	_ = rdf.Term{}
+}

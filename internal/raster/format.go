@@ -1,0 +1,361 @@
+package raster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/geo"
+)
+
+// The ".sev" binary format: the external scientific file format of the
+// synthetic satellite archive. The Data Vault (internal/vault) knows how to
+// enumerate and decode these files, mirroring the paper's Data Vault that
+// teaches MonetDB external EO formats.
+//
+// Layout (little endian):
+//   magic "SEV1"            4 bytes
+//   idLen u32, id           product identifier
+//   satLen u32, satellite
+//   senLen u32, sensor
+//   unixNanos i64           acquisition time
+//   originX, originY f64    georeference
+//   dx, dy f64
+//   srid i32
+//   height, width u32
+//   nBands u32
+//   per band: nameLen u32, name, then h*w f64 values row-major
+
+const sevMagic = "SEV1"
+
+// WriteFrame serialises a frame in .sev format.
+func WriteFrame(w io.Writer, f *Frame) error {
+	bw := bufio.NewWriter(w)
+	wstr := func(s string) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(len(s)))
+		if _, err := bw.Write(b[:]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	w64 := func(v uint64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		_, err := bw.Write(b[:])
+		return err
+	}
+	w32 := func(v uint32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		_, err := bw.Write(b[:])
+		return err
+	}
+	if _, err := bw.WriteString(sevMagic); err != nil {
+		return err
+	}
+	if err := wstr(f.ID); err != nil {
+		return err
+	}
+	if err := wstr(f.Satellite); err != nil {
+		return err
+	}
+	if err := wstr(f.Sensor); err != nil {
+		return err
+	}
+	if err := w64(uint64(f.Time.UnixNano())); err != nil {
+		return err
+	}
+	for _, v := range []float64{f.GeoRef.OriginX, f.GeoRef.OriginY, f.GeoRef.DX, f.GeoRef.DY} {
+		if err := w64(math.Float64bits(v)); err != nil {
+			return err
+		}
+	}
+	if err := w32(uint32(f.GeoRef.SRID)); err != nil {
+		return err
+	}
+	// All bands must share a shape; take it from any band.
+	var h, wd int
+	names := make([]string, 0, len(f.Bands))
+	for name, img := range f.Bands {
+		h, wd = img.Height(), img.Width()
+		names = append(names, string(name))
+	}
+	sort.Strings(names)
+	if err := w32(uint32(h)); err != nil {
+		return err
+	}
+	if err := w32(uint32(wd)); err != nil {
+		return err
+	}
+	if err := w32(uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		img := f.Bands[Band(name)]
+		if img.Height() != h || img.Width() != wd {
+			return fmt.Errorf("raster: band %s shape %dx%d differs from %dx%d", name, img.Height(), img.Width(), h, wd)
+		}
+		if err := wstr(name); err != nil {
+			return err
+		}
+		for _, v := range img.Data {
+			if err := w64(math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrame deserialises a .sev frame.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("raster: reading magic: %w", err)
+	}
+	if string(magic) != sevMagic {
+		return nil, fmt.Errorf("raster: bad magic %q", magic)
+	}
+	r32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	r64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	rstr := func() (string, error) {
+		n, err := r32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("raster: unreasonable string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	f := &Frame{Bands: map[Band]*array.Array{}}
+	var err error
+	if f.ID, err = rstr(); err != nil {
+		return nil, err
+	}
+	if f.Satellite, err = rstr(); err != nil {
+		return nil, err
+	}
+	if f.Sensor, err = rstr(); err != nil {
+		return nil, err
+	}
+	nanos, err := r64()
+	if err != nil {
+		return nil, err
+	}
+	f.Time = time.Unix(0, int64(nanos)).UTC()
+	var grVals [4]float64
+	for i := range grVals {
+		bits, err := r64()
+		if err != nil {
+			return nil, err
+		}
+		grVals[i] = math.Float64frombits(bits)
+	}
+	srid, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	f.GeoRef = GeoRef{
+		OriginX: grVals[0], OriginY: grVals[1],
+		DX: grVals[2], DY: grVals[3],
+		SRID: geo.SRID(srid),
+	}
+	h, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	w, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	nBands, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	if h*w > 1<<28 || nBands > 64 {
+		return nil, fmt.Errorf("raster: unreasonable frame shape %dx%dx%d", h, w, nBands)
+	}
+	for b := uint32(0); b < nBands; b++ {
+		name, err := rstr()
+		if err != nil {
+			return nil, err
+		}
+		img := array.MustNew(name,
+			array.Dim{Name: "y", Size: int(h)},
+			array.Dim{Name: "x", Size: int(w)})
+		for i := range img.Data {
+			bits, err := r64()
+			if err != nil {
+				return nil, err
+			}
+			img.Data[i] = math.Float64frombits(bits)
+		}
+		f.Bands[Band(name)] = img
+	}
+	return f, nil
+}
+
+// Header summarises a .sev file without its pixel data: what the Data
+// Vault catalogues cheaply at repository-attach time.
+type Header struct {
+	ID, Satellite, Sensor string
+	Time                  time.Time
+	GeoRef                GeoRef
+	Height, Width         int
+	BandNames             []string
+}
+
+// ReadHeader decodes only the .sev header, skipping band payloads.
+func ReadHeader(r io.Reader) (*Header, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("raster: reading magic: %w", err)
+	}
+	if string(magic) != sevMagic {
+		return nil, fmt.Errorf("raster: bad magic %q", magic)
+	}
+	r32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	r64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	rstr := func() (string, error) {
+		n, err := r32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("raster: unreasonable string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	h := &Header{}
+	var err error
+	if h.ID, err = rstr(); err != nil {
+		return nil, err
+	}
+	if h.Satellite, err = rstr(); err != nil {
+		return nil, err
+	}
+	if h.Sensor, err = rstr(); err != nil {
+		return nil, err
+	}
+	nanos, err := r64()
+	if err != nil {
+		return nil, err
+	}
+	h.Time = time.Unix(0, int64(nanos)).UTC()
+	var grVals [4]float64
+	for i := range grVals {
+		bits, err := r64()
+		if err != nil {
+			return nil, err
+		}
+		grVals[i] = math.Float64frombits(bits)
+	}
+	srid, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	h.GeoRef = GeoRef{OriginX: grVals[0], OriginY: grVals[1], DX: grVals[2], DY: grVals[3], SRID: geo.SRID(srid)}
+	ht, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	wd, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	h.Height, h.Width = int(ht), int(wd)
+	nBands, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	for b := uint32(0); b < nBands; b++ {
+		name, err := rstr()
+		if err != nil {
+			return nil, err
+		}
+		h.BandNames = append(h.BandNames, name)
+		// Skip the payload.
+		if _, err := br.Discard(int(ht) * int(wd) * 8); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Envelope reports the geographic bounding box described by the header.
+func (h *Header) Envelope() geo.Envelope {
+	return geo.Envelope{
+		MinX: h.GeoRef.OriginX,
+		MaxX: h.GeoRef.OriginX + float64(h.Width)*h.GeoRef.DX,
+		MaxY: h.GeoRef.OriginY,
+		MinY: h.GeoRef.OriginY - float64(h.Height)*h.GeoRef.DY,
+	}
+}
+
+// SaveFrame writes a frame to <dir>/<id>.sev.
+func SaveFrame(dir string, f *Frame) (string, error) {
+	path := filepath.Join(dir, f.ID+".sev")
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := WriteFrame(file, f); err != nil {
+		file.Close()
+		return "", err
+	}
+	return path, file.Close()
+}
+
+// LoadFrame reads a frame from a .sev file.
+func LoadFrame(path string) (*Frame, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return ReadFrame(file)
+}

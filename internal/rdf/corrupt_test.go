@@ -1,0 +1,39 @@
+package rdf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Truncation fuzzing for the dictionary snapshot.
+func TestReadDictionaryTruncated(t *testing.T) {
+	d := NewDictionary()
+	d.Encode(IRI("http://example.org/a"))
+	d.Encode(LangLiteral("hello", "en"))
+	d.Encode(WKTLiteral("POINT (1 2)", 4326))
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadDictionary(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("ReadDictionary succeeded on %d/%d byte prefix", cut, len(data))
+		}
+	}
+	got, err := ReadDictionary(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("round trip len = %d", got.Len())
+	}
+}
+
+func TestReadDictionaryGarbageAfterMagic(t *testing.T) {
+	// Valid magic, corrupt count: must not allocate unboundedly or panic.
+	data := append([]byte("TELDICT1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := ReadDictionary(bytes.NewReader(data)); err == nil {
+		t.Fatal("huge count should error when terms are missing")
+	}
+}

@@ -1,0 +1,227 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// N-Triples and Turtle-subset (de)serialisation. Semantic annotations in
+// TELEIOS are exchanged as linked data; N-Triples is the canonical dump
+// format, Turtle the human-facing one (prefixes, 'a', comma/semicolon
+// abbreviations).
+
+// WriteNTriples serialises triples to w, one statement per line.
+func WriteNTriples(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseNTriples reads N-Triples statements from r. Blank lines and #
+// comment lines are skipped. Errors carry the 1-based line number.
+func ParseNTriples(r io.Reader) ([]Triple, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Triple
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseTripleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseTripleLine parses a single N-Triples statement (trailing '.'
+// required).
+func ParseTripleLine(line string) (Triple, error) {
+	p := &termParser{src: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	pr, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '.' {
+		return Triple{}, fmt.Errorf("missing terminating '.'")
+	}
+	p.pos++
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return Triple{}, fmt.Errorf("trailing content after '.'")
+	}
+	if !s.IsIRI() && !s.IsBlank() {
+		return Triple{}, fmt.Errorf("subject must be IRI or blank node")
+	}
+	if !pr.IsIRI() {
+		return Triple{}, fmt.Errorf("predicate must be IRI")
+	}
+	return Triple{S: s, P: pr, O: o}, nil
+}
+
+type termParser struct {
+	src string
+	pos int
+}
+
+func (p *termParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// term parses one N-Triples term at the cursor.
+func (p *termParser) term() (Term, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return Term{}, fmt.Errorf("unexpected end of statement")
+	}
+	switch p.src[p.pos] {
+	case '<':
+		return p.iriRef()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q", string(p.src[p.pos]))
+	}
+}
+
+func (p *termParser) iriRef() (Term, error) {
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return Term{}, fmt.Errorf("unterminated IRI")
+	}
+	iri := p.src[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	return IRI(iri), nil
+}
+
+func (p *termParser) blank() (Term, error) {
+	if p.pos+1 >= len(p.src) || p.src[p.pos+1] != ':' {
+		return Term{}, fmt.Errorf("malformed blank node")
+	}
+	start := p.pos + 2
+	i := start
+	for i < len(p.src) && isBlankLabelChar(p.src[i]) {
+		i++
+	}
+	if i == start {
+		return Term{}, fmt.Errorf("empty blank node label")
+	}
+	label := p.src[start:i]
+	p.pos = i
+	return Blank(label), nil
+}
+
+func isBlankLabelChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.'
+}
+
+func (p *termParser) literal() (Term, error) {
+	// Opening quote at p.pos.
+	i := p.pos + 1
+	var b strings.Builder
+	for {
+		if i >= len(p.src) {
+			return Term{}, fmt.Errorf("unterminated literal")
+		}
+		c := p.src[i]
+		if c == '\\' {
+			if i+1 >= len(p.src) {
+				return Term{}, fmt.Errorf("dangling escape")
+			}
+			switch p.src[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u':
+				if i+6 > len(p.src) {
+					return Term{}, fmt.Errorf("short \\u escape")
+				}
+				var r rune
+				if _, err := fmt.Sscanf(p.src[i+2:i+6], "%04x", &r); err != nil {
+					return Term{}, fmt.Errorf("bad \\u escape: %v", err)
+				}
+				b.WriteRune(r)
+				i += 6
+				continue
+			default:
+				return Term{}, fmt.Errorf("unknown escape \\%c", p.src[i+1])
+			}
+			i += 2
+			continue
+		}
+		if c == '"' {
+			break
+		}
+		b.WriteByte(c)
+		i++
+	}
+	lex := b.String()
+	p.pos = i + 1
+	// Optional language tag or datatype.
+	if p.pos < len(p.src) && p.src[p.pos] == '@' {
+		start := p.pos + 1
+		j := start
+		for j < len(p.src) && (p.src[j] == '-' || isAlnum(p.src[j])) {
+			j++
+		}
+		if j == start {
+			return Term{}, fmt.Errorf("empty language tag")
+		}
+		lang := p.src[start:j]
+		p.pos = j
+		return LangLiteral(lex, lang), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^^") {
+		p.pos += 2
+		if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+			return Term{}, fmt.Errorf("datatype must be an IRI")
+		}
+		dt, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return TypedLiteral(lex, dt.Value), nil
+	}
+	return Literal(lex), nil
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

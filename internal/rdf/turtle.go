@@ -1,0 +1,504 @@
+package rdf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Turtle subset parser: @prefix / PREFIX directives, prefixed names, 'a'
+// keyword, object lists (','), predicate-object lists (';'), numeric and
+// boolean shorthand literals, and long ("""...""") strings. This covers the
+// Turtle the TELEIOS linked-data generators and examples emit.
+
+// ParseTurtle parses a Turtle document.
+func ParseTurtle(r io.Reader) ([]Triple, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &turtleParser{src: string(data), prefixes: map[string]string{}}
+	return p.parse()
+}
+
+// ParseTurtleString parses a Turtle document from a string.
+func ParseTurtleString(s string) ([]Triple, error) {
+	return ParseTurtle(strings.NewReader(s))
+}
+
+type turtleParser struct {
+	src      string
+	pos      int
+	line     int
+	prefixes map[string]string
+	base     string
+	out      []Triple
+	bnodeSeq int
+}
+
+func (p *turtleParser) errf(format string, args ...any) error {
+	return fmt.Errorf("rdf: turtle line %d: %s", p.line+1, fmt.Sprintf(format, args...))
+}
+
+func (p *turtleParser) skip() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '#':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *turtleParser) parse() ([]Triple, error) {
+	for {
+		p.skip()
+		if p.pos >= len(p.src) {
+			return p.out, nil
+		}
+		if p.hasKeyword("@prefix") || p.hasKeyword("PREFIX") {
+			if err := p.prefixDirective(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.hasKeyword("@base") || p.hasKeyword("BASE") {
+			if err := p.baseDirective(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := p.statement(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *turtleParser) hasKeyword(kw string) bool {
+	if !strings.HasPrefix(p.src[p.pos:], kw) {
+		return false
+	}
+	end := p.pos + len(kw)
+	return end >= len(p.src) || p.src[end] == ' ' || p.src[end] == '\t' || p.src[end] == '<' || p.src[end] == '\n'
+}
+
+func (p *turtleParser) prefixDirective() error {
+	atForm := p.src[p.pos] == '@'
+	if atForm {
+		p.pos += len("@prefix")
+	} else {
+		p.pos += len("PREFIX")
+	}
+	p.skip()
+	colon := strings.IndexByte(p.src[p.pos:], ':')
+	if colon < 0 {
+		return p.errf("prefix directive missing ':'")
+	}
+	name := strings.TrimSpace(p.src[p.pos : p.pos+colon])
+	p.pos += colon + 1
+	p.skip()
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return p.errf("prefix directive missing IRI")
+	}
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return p.errf("unterminated prefix IRI")
+	}
+	p.prefixes[name] = p.src[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	p.skip()
+	if atForm {
+		if p.pos >= len(p.src) || p.src[p.pos] != '.' {
+			return p.errf("@prefix directive missing '.'")
+		}
+		p.pos++
+	}
+	return nil
+}
+
+func (p *turtleParser) baseDirective() error {
+	atForm := p.src[p.pos] == '@'
+	if atForm {
+		p.pos += len("@base")
+	} else {
+		p.pos += len("BASE")
+	}
+	p.skip()
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return p.errf("base directive missing IRI")
+	}
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return p.errf("unterminated base IRI")
+	}
+	p.base = p.src[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	p.skip()
+	if atForm {
+		if p.pos >= len(p.src) || p.src[p.pos] != '.' {
+			return p.errf("@base directive missing '.'")
+		}
+		p.pos++
+	}
+	return nil
+}
+
+func (p *turtleParser) statement() error {
+	subj, err := p.subject()
+	if err != nil {
+		return err
+	}
+	for {
+		p.skip()
+		pred, err := p.predicate()
+		if err != nil {
+			return err
+		}
+		for {
+			p.skip()
+			obj, err := p.object()
+			if err != nil {
+				return err
+			}
+			p.out = append(p.out, Triple{S: subj, P: pred, O: obj})
+			p.skip()
+			if p.pos < len(p.src) && p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		p.skip()
+		if p.pos < len(p.src) && p.src[p.pos] == ';' {
+			p.pos++
+			p.skip()
+			// Trailing ';' before '.' is allowed.
+			if p.pos < len(p.src) && p.src[p.pos] == '.' {
+				p.pos++
+				return nil
+			}
+			continue
+		}
+		break
+	}
+	p.skip()
+	if p.pos >= len(p.src) || p.src[p.pos] != '.' {
+		return p.errf("statement missing '.'")
+	}
+	p.pos++
+	return nil
+}
+
+func (p *turtleParser) subject() (Term, error) {
+	p.skip()
+	if p.pos >= len(p.src) {
+		return Term{}, p.errf("expected subject")
+	}
+	switch p.src[p.pos] {
+	case '<':
+		return p.iriRef()
+	case '_':
+		return p.blankNode()
+	case '[':
+		p.pos++
+		p.skip()
+		if p.pos < len(p.src) && p.src[p.pos] == ']' {
+			p.pos++
+			p.bnodeSeq++
+			return Blank(fmt.Sprintf("anon%d", p.bnodeSeq)), nil
+		}
+		return Term{}, p.errf("non-empty blank node property lists are unsupported")
+	default:
+		return p.prefixedName()
+	}
+}
+
+func (p *turtleParser) predicate() (Term, error) {
+	if p.pos < len(p.src) && p.src[p.pos] == 'a' {
+		next := p.pos + 1
+		if next >= len(p.src) || p.src[next] == ' ' || p.src[next] == '\t' || p.src[next] == '<' {
+			p.pos++
+			return IRI(RDFType), nil
+		}
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '<' {
+		return p.iriRef()
+	}
+	return p.prefixedName()
+}
+
+func (p *turtleParser) object() (Term, error) {
+	if p.pos >= len(p.src) {
+		return Term{}, p.errf("expected object")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '<':
+		return p.iriRef()
+	case c == '_':
+		return p.blankNode()
+	case c == '"':
+		return p.literalTerm()
+	case c == '+' || c == '-' || (c >= '0' && c <= '9'):
+		return p.numericLiteral()
+	case strings.HasPrefix(p.src[p.pos:], "true") && p.boundaryAt(p.pos+4):
+		p.pos += 4
+		return BooleanLiteral(true), nil
+	case strings.HasPrefix(p.src[p.pos:], "false") && p.boundaryAt(p.pos+5):
+		p.pos += 5
+		return BooleanLiteral(false), nil
+	default:
+		return p.prefixedName()
+	}
+}
+
+func (p *turtleParser) boundaryAt(i int) bool {
+	if i >= len(p.src) {
+		return true
+	}
+	c := p.src[i]
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '.' || c == ',' || c == ';'
+}
+
+func (p *turtleParser) iriRef() (Term, error) {
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return Term{}, p.errf("unterminated IRI")
+	}
+	iri := p.src[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	if p.base != "" && !strings.Contains(iri, "://") && !strings.HasPrefix(iri, "urn:") {
+		iri = p.base + iri
+	}
+	return IRI(iri), nil
+}
+
+func (p *turtleParser) blankNode() (Term, error) {
+	if p.pos+1 >= len(p.src) || p.src[p.pos+1] != ':' {
+		return Term{}, p.errf("malformed blank node")
+	}
+	start := p.pos + 2
+	i := start
+	for i < len(p.src) && isBlankLabelChar(p.src[i]) {
+		i++
+	}
+	// A trailing '.' is a statement terminator, not part of the label.
+	for i > start && p.src[i-1] == '.' {
+		i--
+	}
+	if i == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	label := p.src[start:i]
+	p.pos = i
+	return Blank(label), nil
+}
+
+func (p *turtleParser) prefixedName() (Term, error) {
+	start := p.pos
+	i := p.pos
+	for i < len(p.src) && isPNameChar(p.src[i]) {
+		i++
+	}
+	colon := -1
+	for j := start; j < i; j++ {
+		if p.src[j] == ':' {
+			colon = j
+			break
+		}
+	}
+	if colon < 0 {
+		return Term{}, p.errf("expected prefixed name at %q", excerpt(p.src[start:]))
+	}
+	prefix := p.src[start:colon]
+	local := p.src[colon+1 : i]
+	// A trailing '.' terminates the statement rather than the local name.
+	for len(local) > 0 && local[len(local)-1] == '.' {
+		local = local[:len(local)-1]
+		i--
+	}
+	ns, ok := p.prefixes[prefix]
+	if !ok {
+		return Term{}, p.errf("unknown prefix %q", prefix)
+	}
+	p.pos = i
+	return IRI(ns + local), nil
+}
+
+func isPNameChar(c byte) bool {
+	return isAlnum(c) || c == ':' || c == '_' || c == '-' || c == '.' || c == '%'
+}
+
+func excerpt(s string) string {
+	if len(s) > 24 {
+		return s[:24] + "..."
+	}
+	return s
+}
+
+func (p *turtleParser) literalTerm() (Term, error) {
+	// Long string?
+	if strings.HasPrefix(p.src[p.pos:], `"""`) {
+		end := strings.Index(p.src[p.pos+3:], `"""`)
+		if end < 0 {
+			return Term{}, p.errf("unterminated long string")
+		}
+		lex := p.src[p.pos+3 : p.pos+3+end]
+		p.line += strings.Count(lex, "\n")
+		p.pos += end + 6
+		return p.literalSuffix(lex)
+	}
+	tp := &termParser{src: p.src[p.pos:]}
+	t, err := tp.literal()
+	if err != nil {
+		return Term{}, p.errf("%v", err)
+	}
+	p.pos += tp.pos
+	return t, nil
+}
+
+func (p *turtleParser) literalSuffix(lex string) (Term, error) {
+	if p.pos < len(p.src) && p.src[p.pos] == '@' {
+		start := p.pos + 1
+		i := start
+		for i < len(p.src) && (p.src[i] == '-' || isAlnum(p.src[i])) {
+			i++
+		}
+		lang := p.src[start:i]
+		p.pos = i
+		return LangLiteral(lex, lang), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^^") {
+		p.pos += 2
+		if p.pos < len(p.src) && p.src[p.pos] == '<' {
+			dt, err := p.iriRef()
+			if err != nil {
+				return Term{}, err
+			}
+			return TypedLiteral(lex, dt.Value), nil
+		}
+		dt, err := p.prefixedName()
+		if err != nil {
+			return Term{}, err
+		}
+		return TypedLiteral(lex, dt.Value), nil
+	}
+	return Literal(lex), nil
+}
+
+func (p *turtleParser) numericLiteral() (Term, error) {
+	start := p.pos
+	i := p.pos
+	if i < len(p.src) && (p.src[i] == '+' || p.src[i] == '-') {
+		i++
+	}
+	hasDot, hasExp := false, false
+	for i < len(p.src) {
+		c := p.src[i]
+		if c >= '0' && c <= '9' {
+			i++
+			continue
+		}
+		if c == '.' && !hasDot && i+1 < len(p.src) && p.src[i+1] >= '0' && p.src[i+1] <= '9' {
+			hasDot = true
+			i++
+			continue
+		}
+		if (c == 'e' || c == 'E') && !hasExp {
+			hasExp = true
+			i++
+			if i < len(p.src) && (p.src[i] == '+' || p.src[i] == '-') {
+				i++
+			}
+			continue
+		}
+		break
+	}
+	lex := p.src[start:i]
+	p.pos = i
+	switch {
+	case hasExp:
+		return TypedLiteral(lex, XSDDouble), nil
+	case hasDot:
+		return TypedLiteral(lex, XSDDecimal), nil
+	default:
+		return TypedLiteral(lex, XSDInteger), nil
+	}
+}
+
+// WriteTurtle serialises triples as Turtle grouped by subject, using the
+// provided prefix map (name -> namespace IRI).
+func WriteTurtle(w io.Writer, triples []Triple, prefixes map[string]string) error {
+	names := make([]string, 0, len(prefixes))
+	for n := range prefixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "@prefix %s: <%s> .\n", n, prefixes[n])
+	}
+	if len(names) > 0 {
+		b.WriteByte('\n')
+	}
+	abbr := func(t Term) string {
+		if t.Kind == KindIRI {
+			if t.Value == RDFType {
+				return "a"
+			}
+			for _, n := range names {
+				ns := prefixes[n]
+				if strings.HasPrefix(t.Value, ns) {
+					local := t.Value[len(ns):]
+					if local != "" && isSafeLocal(local) {
+						return n + ":" + local
+					}
+				}
+			}
+		}
+		return t.String()
+	}
+	// Group consecutive triples by subject.
+	for i := 0; i < len(triples); {
+		s := triples[i].S
+		j := i
+		for j < len(triples) && triples[j].S == s {
+			j++
+		}
+		b.WriteString(abbr(s))
+		group := triples[i:j]
+		for k, t := range group {
+			if k == 0 {
+				b.WriteByte(' ')
+			} else {
+				b.WriteString(" ;\n    ")
+			}
+			b.WriteString(abbr(t.P))
+			b.WriteByte(' ')
+			b.WriteString(abbr(t.O))
+		}
+		b.WriteString(" .\n")
+		i = j
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func isSafeLocal(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !isAlnum(c) && c != '_' && c != '-' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// STR bulk load versus incremental insertion: build cost and resulting
+// query performance (the bulk-loaded tree is better packed).
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		items := randomItems(n, 42)
+		b.Run(fmt.Sprintf("bulk/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if tr := BulkLoad(items, 16); tr.Len() != n {
+					b.Fatal("size")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := NewTree(16)
+				for _, it := range items {
+					tr.Insert(it)
+				}
+				if tr.Len() != n {
+					b.Fatal("size")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		items := randomItems(n, 43)
+		bulk := BulkLoad(items, 16)
+		incr := NewTree(16)
+		for _, it := range items {
+			incr.Insert(it)
+		}
+		rng := rand.New(rand.NewSource(44))
+		queries := make([]geo.Envelope, 64)
+		for i := range queries {
+			queries[i] = box(rng.Float64()*95, rng.Float64()*95, 5, 5)
+		}
+		b.Run(fmt.Sprintf("bulk/n=%d", n), func(b *testing.B) {
+			var buf []uint64
+			for i := 0; i < b.N; i++ {
+				buf = bulk.Search(queries[i%len(queries)], buf[:0])
+			}
+		})
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			var buf []uint64
+			for i := 0; i < b.N; i++ {
+				buf = incr.Search(queries[i%len(queries)], buf[:0])
+			}
+		})
+	}
+}
+
+func BenchmarkNearestNeighbors(b *testing.B) {
+	items := randomItems(10000, 45)
+	tr := BulkLoad(items, 16)
+	b.ResetTimer()
+	var buf []uint64
+	for i := 0; i < b.N; i++ {
+		buf = tr.NearestNeighbors(geo.Point{X: 50, Y: 50}, 10, buf[:0])
+		if len(buf) != 10 {
+			b.Fatal("k")
+		}
+	}
+}

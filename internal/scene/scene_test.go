@@ -1,0 +1,103 @@
+package scene
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestLandmassIsValidAndInsideRegion(t *testing.T) {
+	land := Landmass()
+	if err := geo.Validate(land); err != nil {
+		t.Fatal(err)
+	}
+	if !Region.Contains(land.Envelope()) {
+		t.Fatalf("landmass %+v leaves the region %+v", land.Envelope(), Region)
+	}
+	if land.Area() <= 0 {
+		t.Fatal("landmass area")
+	}
+	// Sea + land partition the region (areas sum).
+	sea := Sea()
+	total := geo.Area(sea) + land.Area()
+	if regionArea := Region.Area(); total < regionArea*0.999 || total > regionArea*1.001 {
+		t.Fatalf("sea+land = %g, region = %g", total, regionArea)
+	}
+}
+
+func TestOnLandAgreesWithAnalytic(t *testing.T) {
+	// Sample a grid; the polygon and the analytic form must agree except
+	// within discretisation distance of the coast.
+	land := Landmass()
+	disagreements := 0
+	samples := 0
+	for x := Region.MinX; x <= Region.MaxX; x += 0.25 {
+		for y := Region.MinY; y <= Region.MaxY; y += 0.25 {
+			p := geo.Point{X: x, Y: y}
+			samples++
+			if geo.Intersects(p, land) != OnLandAnalytic(p) {
+				disagreements++
+			}
+		}
+	}
+	if disagreements > samples/50 {
+		t.Fatalf("polygon vs analytic disagreement: %d/%d", disagreements, samples)
+	}
+}
+
+func TestFireEventTiming(t *testing.T) {
+	for _, fe := range FireEvents() {
+		if fe.StartStep < 0 || fe.PeakDT <= 0 || fe.Growth <= 0 {
+			t.Errorf("fire %s has degenerate parameters: %+v", fe.Name, fe)
+		}
+		if !Region.ContainsPoint(fe.Loc.X, fe.Loc.Y) {
+			t.Errorf("fire %s outside the region", fe.Name)
+		}
+	}
+}
+
+func TestRoadsWithinRegion(t *testing.T) {
+	for _, r := range Roads() {
+		if !Region.Contains(r.Path.Envelope()) {
+			t.Errorf("road %s leaves the region", r.Name)
+		}
+		if r.Path.Length() <= 0 {
+			t.Errorf("road %s has no length", r.Name)
+		}
+	}
+}
+
+func TestNamesAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range ArchaeologicalSites() {
+		if seen[s.Name] {
+			t.Errorf("duplicate site %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, s := range Towns() {
+		if seen[s.Name] {
+			t.Errorf("duplicate town %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, f := range Forests() {
+		if seen[f.Name] {
+			t.Errorf("duplicate forest %s", f.Name)
+		}
+		seen[f.Name] = true
+	}
+}
+
+func TestTownsHavePopulation(t *testing.T) {
+	for _, town := range Towns() {
+		if town.Population <= 0 {
+			t.Errorf("town %s has no population", town.Name)
+		}
+	}
+	for _, site := range ArchaeologicalSites() {
+		if site.Population != 0 {
+			t.Errorf("site %s should have no population", site.Name)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package sciql
+
+import "repro/internal/column"
+
+// Statement is any parsed SciQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any parsed expression.
+type Expr interface{ expr() }
+
+// CreateTableStmt declares a relational table.
+type CreateTableStmt struct {
+	Name   string
+	Fields []column.Field
+}
+
+// DimSpec declares one array dimension with extent [0, Size).
+type DimSpec struct {
+	Name string
+	Size int
+}
+
+// CreateArrayStmt declares a dense array with dimensions and one or more
+// value attributes (default value 0).
+type CreateArrayStmt struct {
+	Name   string
+	Dims   []DimSpec
+	Values []string // value attribute names (all DOUBLE)
+	// AsSelect, when non-nil, fills the array from a query whose first
+	// len(Dims) output columns are the dimension coordinates.
+	AsSelect *SelectStmt
+}
+
+// InsertStmt appends literal rows to a table.
+type InsertStmt struct {
+	Table string
+	Rows  [][]Expr
+}
+
+// SelectItem is one projection: an expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	// Star marks "SELECT *".
+	Star bool
+}
+
+// TableRef names a FROM source with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a query block.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// UpdateStmt updates array cells or table rows.
+type UpdateStmt struct {
+	Target string
+	Set    map[string]Expr
+	Where  Expr
+}
+
+// DeleteStmt removes table rows matching Where (all rows when nil).
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// DropStmt removes a table or array.
+type DropStmt struct {
+	Name    string
+	IsArray bool
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*CreateArrayStmt) stmt() {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DropStmt) stmt()        {}
+
+// Literal is a constant: int64, float64, string, bool, or nil.
+type Literal struct{ Value any }
+
+// ColRef references a column or array attribute, optionally qualified.
+type ColRef struct{ Table, Name string }
+
+// BinaryExpr applies an infix operator: + - * / % = <> < <= > >= AND OR ||.
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnaryExpr applies - or NOT.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// CallExpr invokes a scalar function or aggregate.
+type CallExpr struct {
+	Name string // lower-cased
+	Args []Expr
+	Star bool // count(*)
+}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// CaseExpr is CASE WHEN c THEN v ... [ELSE e] END.
+type CaseExpr struct {
+	Whens []struct{ Cond, Then Expr }
+	Else  Expr
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// InExpr is x [NOT] IN (e1, e2, ...).
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+func (*Literal) expr()     {}
+func (*ColRef) expr()      {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*CallExpr) expr()    {}
+func (*BetweenExpr) expr() {}
+func (*CaseExpr) expr()    {}
+func (*IsNullExpr) expr()  {}
+func (*InExpr) expr()      {}

@@ -1,0 +1,45 @@
+package sciql
+
+import "testing"
+
+func TestDeleteFrom(t *testing.T) {
+	e := newTestEngine(t)
+	res := e.MustExec(`DELETE FROM products WHERE temp < 305`)
+	if res.Affected != 2 {
+		t.Fatalf("deleted = %d", res.Affected)
+	}
+	left := e.MustExec(`SELECT id FROM products ORDER BY id`).Table
+	if left.NumRows() != 2 || left.Col("id").Int(0) != 1 || left.Col("id").Int(1) != 3 {
+		t.Fatalf("remaining = %v", left.Col("id").Ints())
+	}
+	// Delete everything.
+	resAll := e.MustExec(`DELETE FROM products`)
+	if resAll.Affected != 2 {
+		t.Fatalf("delete all = %d", resAll.Affected)
+	}
+	if e.MustExec(`SELECT count(*) AS n FROM products`).Table.Col("n").Int(0) != 0 {
+		t.Fatal("table should be empty")
+	}
+	// The table still accepts inserts after compaction.
+	e.MustExec(`INSERT INTO products VALUES (9, 'new', 300.0, false)`)
+	if e.MustExec(`SELECT count(*) AS n FROM products`).Table.Col("n").Int(0) != 1 {
+		t.Fatal("insert after delete")
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Exec(`DELETE FROM ghost`); err == nil {
+		t.Fatal("unknown table")
+	}
+	e.MustExec(`CREATE ARRAY arr (x INT DIMENSION [4], v DOUBLE)`)
+	if _, err := e.Exec(`DELETE FROM arr`); err == nil {
+		t.Fatal("delete from array should be rejected")
+	}
+	if _, err := e.Exec(`DELETE products`); err == nil {
+		t.Fatal("missing FROM")
+	}
+	if _, err := e.Exec(`DELETE FROM products WHERE ghost = 1`); err == nil {
+		t.Fatal("unknown column in WHERE")
+	}
+}

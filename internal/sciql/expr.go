@@ -1,0 +1,467 @@
+package sciql
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Scalar expression evaluation. Values are nil (NULL), int64, float64,
+// string or bool. NULL propagates through operators and comparisons
+// (three-valued logic collapsed to "not true" for filters).
+
+func evalExpr(e Expr, ev *env) (any, error) {
+	switch t := e.(type) {
+	case *Literal:
+		return t.Value, nil
+	case *ColRef:
+		if ev == nil {
+			return nil, fmt.Errorf("sciql: column %q referenced outside a query", t.Name)
+		}
+		v, found, err := ev.lookup(t.Table, t.Name)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			if t.Table != "" {
+				return nil, fmt.Errorf("sciql: unknown column %q.%q", t.Table, t.Name)
+			}
+			return nil, fmt.Errorf("sciql: unknown column %q", t.Name)
+		}
+		return v, nil
+	case *BinaryExpr:
+		if t.Op == "AND" || t.Op == "OR" {
+			return evalLogical(t, ev)
+		}
+		l, err := evalExpr(t.Left, ev)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalExpr(t.Right, ev)
+		if err != nil {
+			return nil, err
+		}
+		return applyBinary(t.Op, l, r)
+	case *UnaryExpr:
+		v, err := evalExpr(t.X, ev)
+		if err != nil {
+			return nil, err
+		}
+		return applyUnary(t.Op, v)
+	case *CallExpr:
+		args := make([]any, len(t.Args))
+		for i, a := range t.Args {
+			v, err := evalExpr(a, ev)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return applyScalar(t.Name, args)
+	case *BetweenExpr:
+		x, err := evalExpr(t.X, ev)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := evalExpr(t.Lo, ev)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := evalExpr(t.Hi, ev)
+		if err != nil {
+			return nil, err
+		}
+		if x == nil || lo == nil || hi == nil {
+			return nil, nil
+		}
+		geLo, err := applyBinary(">=", x, lo)
+		if err != nil {
+			return nil, err
+		}
+		leHi, err := applyBinary("<=", x, hi)
+		if err != nil {
+			return nil, err
+		}
+		result := geLo == true && leHi == true
+		if t.Not {
+			result = !result
+		}
+		return result, nil
+	case *CaseExpr:
+		for _, w := range t.Whens {
+			ok, err := evalBool(w.Cond, ev)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return evalExpr(w.Then, ev)
+			}
+		}
+		if t.Else != nil {
+			return evalExpr(t.Else, ev)
+		}
+		return nil, nil
+	case *IsNullExpr:
+		v, err := evalExpr(t.X, ev)
+		if err != nil {
+			return nil, err
+		}
+		isNull := v == nil
+		if t.Not {
+			return !isNull, nil
+		}
+		return isNull, nil
+	case *InExpr:
+		x, err := evalExpr(t.X, ev)
+		if err != nil {
+			return nil, err
+		}
+		if x == nil {
+			return nil, nil
+		}
+		for _, le := range t.List {
+			v, err := evalExpr(le, ev)
+			if err != nil {
+				return nil, err
+			}
+			eq, err := applyBinary("=", x, v)
+			if err != nil {
+				return nil, err
+			}
+			if eq == true {
+				return !t.Not, nil
+			}
+		}
+		return t.Not, nil
+	}
+	return nil, fmt.Errorf("sciql: unsupported expression %T", e)
+}
+
+// evalBool evaluates a predicate; NULL counts as false.
+func evalBool(e Expr, ev *env) (bool, error) {
+	v, err := evalExpr(e, ev)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	return ok && b, nil
+}
+
+func evalLogical(t *BinaryExpr, ev *env) (any, error) {
+	l, err := evalBool(t.Left, ev)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit.
+	if t.Op == "AND" && !l {
+		return false, nil
+	}
+	if t.Op == "OR" && l {
+		return true, nil
+	}
+	r, err := evalBool(t.Right, ev)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}
+
+func applyBinary(op string, l, r any) (any, error) {
+	if l == nil || r == nil {
+		return nil, nil
+	}
+	if op == "||" {
+		return fmt.Sprint(l) + fmt.Sprint(r), nil
+	}
+	// String comparisons.
+	ls, lIsStr := l.(string)
+	rs, rIsStr := r.(string)
+	if lIsStr && rIsStr {
+		switch op {
+		case "=":
+			return ls == rs, nil
+		case "<>":
+			return ls != rs, nil
+		case "<":
+			return ls < rs, nil
+		case "<=":
+			return ls <= rs, nil
+		case ">":
+			return ls > rs, nil
+		case ">=":
+			return ls >= rs, nil
+		}
+		return nil, fmt.Errorf("sciql: operator %q not defined on strings", op)
+	}
+	// Bool equality.
+	lb, lIsBool := l.(bool)
+	rb, rIsBool := r.(bool)
+	if lIsBool && rIsBool {
+		switch op {
+		case "=":
+			return lb == rb, nil
+		case "<>":
+			return lb != rb, nil
+		}
+		return nil, fmt.Errorf("sciql: operator %q not defined on booleans", op)
+	}
+	// Integer arithmetic stays integer.
+	li, lIsInt := l.(int64)
+	ri, rIsInt := r.(int64)
+	if lIsInt && rIsInt {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, fmt.Errorf("sciql: division by zero")
+			}
+			return li / ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, fmt.Errorf("sciql: modulo by zero")
+			}
+			return li % ri, nil
+		case "=":
+			return li == ri, nil
+		case "<>":
+			return li != ri, nil
+		case "<":
+			return li < ri, nil
+		case "<=":
+			return li <= ri, nil
+		case ">":
+			return li > ri, nil
+		case ">=":
+			return li >= ri, nil
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("sciql: operator %q not defined on %T and %T", op, l, r)
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("sciql: division by zero")
+		}
+		return lf / rf, nil
+	case "%":
+		if rf == 0 {
+			return nil, fmt.Errorf("sciql: modulo by zero")
+		}
+		return math.Mod(lf, rf), nil
+	case "=":
+		return lf == rf, nil
+	case "<>":
+		return lf != rf, nil
+	case "<":
+		return lf < rf, nil
+	case "<=":
+		return lf <= rf, nil
+	case ">":
+		return lf > rf, nil
+	case ">=":
+		return lf >= rf, nil
+	}
+	return nil, fmt.Errorf("sciql: unknown operator %q", op)
+}
+
+func applyUnary(op string, v any) (any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch op {
+	case "-":
+		switch x := v.(type) {
+		case int64:
+			return -x, nil
+		case float64:
+			return -x, nil
+		}
+		return nil, fmt.Errorf("sciql: unary minus on %T", v)
+	case "NOT":
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("sciql: NOT on %T", v)
+		}
+		return !b, nil
+	}
+	return nil, fmt.Errorf("sciql: unknown unary operator %q", op)
+}
+
+func applyScalar(name string, args []any) (any, error) {
+	// NULL in, NULL out.
+	for _, a := range args {
+		if a == nil {
+			return nil, nil
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("sciql: %s takes %d argument(s), got %d", name, n, len(args))
+		}
+		return nil
+	}
+	f1 := func() (float64, error) {
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		f, ok := toFloat(args[0])
+		if !ok {
+			return 0, fmt.Errorf("sciql: %s expects a numeric argument, got %T", name, args[0])
+		}
+		return f, nil
+	}
+	switch name {
+	case "abs":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if i, ok := args[0].(int64); ok {
+			if i < 0 {
+				return -i, nil
+			}
+			return i, nil
+		}
+		f, ok := toFloat(args[0])
+		if !ok {
+			return nil, fmt.Errorf("sciql: abs expects a number")
+		}
+		return math.Abs(f), nil
+	case "sqrt":
+		f, err := f1()
+		if err != nil {
+			return nil, err
+		}
+		if f < 0 {
+			return nil, fmt.Errorf("sciql: sqrt of negative value")
+		}
+		return math.Sqrt(f), nil
+	case "log":
+		f, err := f1()
+		if err != nil {
+			return nil, err
+		}
+		if f <= 0 {
+			return nil, fmt.Errorf("sciql: log of non-positive value")
+		}
+		return math.Log(f), nil
+	case "exp":
+		f, err := f1()
+		if err != nil {
+			return nil, err
+		}
+		return math.Exp(f), nil
+	case "floor":
+		f, err := f1()
+		if err != nil {
+			return nil, err
+		}
+		return int64(math.Floor(f)), nil
+	case "ceil", "ceiling":
+		f, err := f1()
+		if err != nil {
+			return nil, err
+		}
+		return int64(math.Ceil(f)), nil
+	case "round":
+		f, err := f1()
+		if err != nil {
+			return nil, err
+		}
+		return int64(math.Round(f)), nil
+	case "power", "pow":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		x, xok := toFloat(args[0])
+		y, yok := toFloat(args[1])
+		if !xok || !yok {
+			return nil, fmt.Errorf("sciql: power expects numbers")
+		}
+		return math.Pow(x, y), nil
+	case "mod":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return applyBinary("%", args[0], args[1])
+	case "greatest", "least":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("sciql: %s needs at least one argument", name)
+		}
+		best, ok := toFloat(args[0])
+		if !ok {
+			return nil, fmt.Errorf("sciql: %s expects numbers", name)
+		}
+		allInt := isInt(args[0])
+		for _, a := range args[1:] {
+			f, ok := toFloat(a)
+			if !ok {
+				return nil, fmt.Errorf("sciql: %s expects numbers", name)
+			}
+			allInt = allInt && isInt(a)
+			if name == "greatest" && f > best || name == "least" && f < best {
+				best = f
+			}
+		}
+		if allInt {
+			return int64(best), nil
+		}
+		return best, nil
+	case "lower":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sciql: lower expects a string")
+		}
+		return strings.ToLower(s), nil
+	case "upper":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sciql: upper expects a string")
+		}
+		return strings.ToUpper(s), nil
+	case "length":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sciql: length expects a string")
+		}
+		return int64(len(s)), nil
+	}
+	return nil, fmt.Errorf("sciql: unknown function %q", name)
+}
+
+func isInt(v any) bool {
+	_, ok := v.(int64)
+	return ok
+}

@@ -1,0 +1,109 @@
+package sciql
+
+import "testing"
+
+func TestMoreScalarFunctions(t *testing.T) {
+	e := NewEngine()
+	tbl := e.MustExec(`SELECT mod(10, 3) m, round(2.6) r, lower('FiRe') lo, log(exp(1.0)) ln, abs(-2.5) a`).Table
+	if tbl.Col("m").Int(0) != 1 {
+		t.Fatal("mod")
+	}
+	if tbl.Col("r").Int(0) != 3 {
+		t.Fatal("round")
+	}
+	if tbl.Col("lo").Str(0) != "fire" {
+		t.Fatal("lower")
+	}
+	if v := tbl.Col("ln").Float(0); v < 0.999 || v > 1.001 {
+		t.Fatalf("log(exp(1)) = %g", v)
+	}
+	if tbl.Col("a").Float(0) != 2.5 {
+		t.Fatal("abs float")
+	}
+	// Error paths.
+	for _, q := range []string{
+		`SELECT log(0)`,
+		`SELECT sqrt('a')`,
+		`SELECT power(1)`,
+		`SELECT mod(1, 0)`,
+		`SELECT lower(5)`,
+		`SELECT greatest('a', 'b')`,
+	} {
+		if _, err := e.Exec(q); err == nil {
+			t.Errorf("%q should fail", q)
+		}
+	}
+}
+
+func TestUpdateSetNull(t *testing.T) {
+	e := NewEngine()
+	e.MustExec(`CREATE TABLE t (x BIGINT)`)
+	e.MustExec(`INSERT INTO t VALUES (1), (2)`)
+	e.MustExec(`UPDATE t SET x = NULL WHERE x = 1`)
+	tbl := e.MustExec(`SELECT x FROM t WHERE x IS NULL`).Table
+	if tbl.NumRows() != 1 {
+		t.Fatalf("null rows = %d", tbl.NumRows())
+	}
+	// Array cells can be blanked too.
+	e.MustExec(`CREATE ARRAY a (i INT DIMENSION [4], v DOUBLE)`)
+	e.MustExec(`UPDATE a SET v = 5`)
+	e.MustExec(`UPDATE a SET v = NULL WHERE i = 2`)
+	res := e.MustExec(`SELECT count(v) AS n FROM a`).Table
+	if res.Col("n").Int(0) != 3 {
+		t.Fatalf("non-null cells = %d", res.Col("n").Int(0))
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	e := NewEngine()
+	e.MustExec(`CREATE TABLE t (a BIGINT, b BIGINT)`)
+	e.MustExec(`INSERT INTO t VALUES (1, 2), (1, 1), (0, 9)`)
+	tbl := e.MustExec(`SELECT a, b FROM t ORDER BY a, b DESC`).Table
+	if tbl.Col("a").Int(0) != 0 {
+		t.Fatal("primary key order")
+	}
+	if tbl.Col("b").Int(1) != 2 || tbl.Col("b").Int(2) != 1 {
+		t.Fatalf("secondary desc order: %v", tbl.Col("b").Ints())
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	e := NewEngine()
+	e.MustExec(`CREATE TABLE a (k BIGINT)`)
+	e.MustExec(`CREATE TABLE b (k BIGINT)`)
+	e.MustExec(`CREATE TABLE c (k BIGINT)`)
+	e.MustExec(`INSERT INTO a VALUES (1), (2)`)
+	e.MustExec(`INSERT INTO b VALUES (2), (3)`)
+	e.MustExec(`INSERT INTO c VALUES (2), (4)`)
+	// Three sources fall back to the nested-loop path with the full
+	// predicate as a residual filter.
+	tbl := e.MustExec(`SELECT a.k FROM a, b, c WHERE a.k = b.k AND b.k = c.k`).Table
+	if tbl.NumRows() != 1 || tbl.Col("k").Int(0) != 2 {
+		t.Fatalf("3-way join = %v", tbl.Col("k").Ints())
+	}
+}
+
+func TestCaseInExpressionPositions(t *testing.T) {
+	e := NewEngine()
+	e.MustExec(`CREATE TABLE t (x BIGINT)`)
+	e.MustExec(`INSERT INTO t VALUES (1), (5), (9)`)
+	// CASE in WHERE and in aggregates.
+	tbl := e.MustExec(`SELECT sum(CASE WHEN x > 4 THEN 1 ELSE 0 END) AS hot FROM t`).Table
+	if tbl.Col("hot").Int(0) != 2 {
+		t.Fatalf("conditional sum = %d", tbl.Col("hot").Int(0))
+	}
+	tbl2 := e.MustExec(`SELECT x FROM t WHERE CASE WHEN x > 4 THEN true ELSE false END`).Table
+	if tbl2.NumRows() != 2 {
+		t.Fatal("CASE in WHERE")
+	}
+}
+
+func TestDistinctMultiColumn(t *testing.T) {
+	e := NewEngine()
+	e.MustExec(`CREATE TABLE t (a BIGINT, b VARCHAR)`)
+	e.MustExec(`INSERT INTO t VALUES (1, 'x'), (1, 'x'), (1, 'y')`)
+	tbl := e.MustExec(`SELECT DISTINCT a, b FROM t`).Table
+	if tbl.NumRows() != 2 {
+		t.Fatalf("distinct rows = %d", tbl.NumRows())
+	}
+}

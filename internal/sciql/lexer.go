@@ -1,0 +1,201 @@
+// Package sciql implements the SciQL query language of the paper (Zhang,
+// Kersten, Ivanova, Nes — IDEAS 2011): SQL with multidimensional arrays as
+// first-class citizens, executed over the columnar kernel
+// (internal/column) and the array engine (internal/array).
+//
+// The supported subset is the one the TELEIOS demo exercises:
+//
+//	CREATE TABLE t (c TYPE, ...)
+//	CREATE ARRAY a (x INT DIMENSION [N], y INT DIMENSION [M], v DOUBLE)
+//	CREATE ARRAY a AS SELECT ...
+//	INSERT INTO t VALUES (...), (...)
+//	SELECT exprs FROM src [alias] [, src [alias]] [WHERE cond]
+//	       [GROUP BY exprs] [ORDER BY exprs] [LIMIT n]
+//	UPDATE a SET v = expr [WHERE cond]
+//	DROP TABLE t / DROP ARRAY a
+//
+// with arithmetic, comparisons, AND/OR/NOT, CASE WHEN, BETWEEN, scalar
+// functions (abs, sqrt, log, exp, power, floor, ceil, greatest, least) and
+// aggregates (count, sum, avg, min, max). Array cells appear as rows with
+// their dimension attributes, so dimension predicates express cropping and
+// GROUP BY over dimension arithmetic expresses tiling, exactly as SciQL's
+// structured grouping does.
+package sciql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // reserved words, upper-cased
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+	"CREATE": true, "TABLE": true, "ARRAY": true, "DIMENSION": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true,
+	"DROP":   true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"BETWEEN": true, "IN": true, "IS": true, "NULL": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "LIKE": true,
+	"TRUE": true, "FALSE": true, "DEFAULT": true, "DISTINCT": true,
+	"INT": true, "INTEGER": true, "BIGINT": true, "DOUBLE": true,
+	"FLOAT": true, "VARCHAR": true, "STRING": true, "BOOLEAN": true, "BOOL": true,
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+			return l.tokens, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				l.tokens = append(l.tokens, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				l.tokens = append(l.tokens, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if op := l.lexOperator(); op == "" {
+				return nil, fmt.Errorf("sciql: unexpected character %q at offset %d", string(c), l.pos)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot && !seenExp {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && !seenExp && l.pos > start {
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return fmt.Errorf("sciql: unterminated string at offset %d", start)
+		}
+		c := l.src[l.pos]
+		if c == '\'' {
+			// Doubled quote is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			break
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), pos: start})
+	return nil
+}
+
+func (l *lexer) lexOperator() string {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "||":
+		l.tokens = append(l.tokens, token{kind: tokSymbol, text: two, pos: l.pos})
+		l.pos += 2
+		return two
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '%', '<', '>', '=', '[', ']', ':', ';', '.':
+		l.tokens = append(l.tokens, token{kind: tokSymbol, text: string(c), pos: l.pos})
+		l.pos++
+		return string(c)
+	}
+	return ""
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

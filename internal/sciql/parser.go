@@ -1,0 +1,745 @@
+package sciql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/column"
+)
+
+// Parse parses a single SciQL statement (a trailing ';' is tolerated).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sciql: %s (at offset %d in %q)", fmt.Sprintf(format, args...), p.cur().pos, excerpt(p.src))
+}
+
+func excerpt(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) error {
+	if p.accept(kind, text) {
+		return nil
+	}
+	return p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) ident() (string, error) {
+	if p.at(tokIdent, "") {
+		t := p.cur()
+		p.pos++
+		return t.text, nil
+	}
+	return "", p.errf("expected identifier, found %q", p.cur().text)
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.selectStmt()
+	case p.accept(tokKeyword, "CREATE"):
+		if p.accept(tokKeyword, "TABLE") {
+			return p.createTable()
+		}
+		if p.accept(tokKeyword, "ARRAY") {
+			return p.createArray()
+		}
+		return nil, p.errf("expected TABLE or ARRAY after CREATE")
+	case p.accept(tokKeyword, "INSERT"):
+		return p.insert()
+	case p.accept(tokKeyword, "UPDATE"):
+		return p.update()
+	case p.accept(tokKeyword, "DELETE"):
+		if err := p.expect(tokKeyword, "FROM"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st := &DeleteStmt{Table: name}
+		if p.accept(tokKeyword, "WHERE") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = e
+		}
+		return st, nil
+	case p.accept(tokKeyword, "DROP"):
+		isArray := false
+		if p.accept(tokKeyword, "ARRAY") {
+			isArray = true
+		} else if !p.accept(tokKeyword, "TABLE") {
+			return nil, p.errf("expected TABLE or ARRAY after DROP")
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropStmt{Name: name, IsArray: isArray}, nil
+	default:
+		return nil, p.errf("expected statement, found %q", p.cur().text)
+	}
+}
+
+func (p *parser) typeName() (column.Type, error) {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return 0, p.errf("expected type name, found %q", t.text)
+	}
+	p.pos++
+	switch t.text {
+	case "INT", "INTEGER", "BIGINT":
+		return column.Int64, nil
+	case "DOUBLE", "FLOAT":
+		return column.Float64, nil
+	case "VARCHAR", "STRING":
+		return column.String, nil
+	case "BOOLEAN", "BOOL":
+		return column.Bool, nil
+	}
+	return 0, p.errf("unknown type %q", t.text)
+}
+
+func (p *parser) createTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{Name: name}
+	for {
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		st.Fields = append(st.Fields, column.Field{Name: cname, Typ: typ})
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) createArray() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &CreateArrayStmt{Name: name}
+	if p.accept(tokKeyword, "AS") {
+		// CREATE ARRAY a AS SELECT: shape inferred by the evaluator.
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.AsSelect = sel.(*SelectStmt)
+		return st, nil
+	}
+	if err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		aname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typ := p.cur()
+		if typ.kind != tokKeyword {
+			return nil, p.errf("expected type for attribute %q", aname)
+		}
+		p.pos++
+		if p.accept(tokKeyword, "DIMENSION") {
+			if typ.text != "INT" && typ.text != "INTEGER" && typ.text != "BIGINT" {
+				return nil, p.errf("dimension %q must be integer typed", aname)
+			}
+			if err := p.expect(tokSymbol, "["); err != nil {
+				return nil, err
+			}
+			if !p.at(tokNumber, "") {
+				return nil, p.errf("expected dimension size")
+			}
+			size, err := strconv.Atoi(p.cur().text)
+			if err != nil || size <= 0 {
+				return nil, p.errf("bad dimension size %q", p.cur().text)
+			}
+			p.pos++
+			if err := p.expect(tokSymbol, "]"); err != nil {
+				return nil, err
+			}
+			st.Dims = append(st.Dims, DimSpec{Name: aname, Size: size})
+		} else {
+			switch typ.text {
+			case "DOUBLE", "FLOAT":
+			default:
+				return nil, p.errf("array value attribute %q must be DOUBLE", aname)
+			}
+			// Optional DEFAULT literal (value recorded but arrays always
+			// initialise to 0, SciQL's default for numeric cells).
+			if p.accept(tokKeyword, "DEFAULT") {
+				if _, err := p.primary(); err != nil {
+					return nil, err
+				}
+			}
+			st.Values = append(st.Values, aname)
+		}
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if len(st.Dims) == 0 {
+		return nil, p.errf("array %q has no dimensions", name)
+	}
+	if len(st.Values) == 0 {
+		return nil, p.errf("array %q has no value attribute", name)
+	}
+	return st, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	if err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	for {
+		if err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) update() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Target: name, Set: map[string]Expr{}}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Set[col] = e
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	if err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{Limit: -1}
+	st.Distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		if p.accept(tokSymbol, "*") {
+			st.Items = append(st.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tokKeyword, "AS") {
+				alias, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias
+			} else if p.at(tokIdent, "") {
+				item.Alias = p.cur().text
+				p.pos++
+			}
+			st.Items = append(st.Items, item)
+		}
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if p.accept(tokKeyword, "FROM") {
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ref := TableRef{Name: name}
+			if p.accept(tokKeyword, "AS") {
+				alias, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				ref.Alias = alias
+			} else if p.at(tokIdent, "") {
+				ref.Alias = p.cur().text
+				p.pos++
+			}
+			st.From = append(st.From, ref)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		if !p.at(tokNumber, "") {
+			return nil, p.errf("expected LIMIT count")
+		}
+		n, err := strconv.Atoi(p.cur().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", p.cur().text)
+		}
+		p.pos++
+		st.Limit = n
+	}
+	return st, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+// OR -> AND -> NOT -> comparison/BETWEEN/IN/IS -> additive -> multiplicative -> unary -> primary.
+
+func (p *parser) expression() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (Expr, error) {
+	left, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(tokKeyword, "IS") {
+		not := p.accept(tokKeyword, "NOT")
+		if err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: left, Not: not}, nil
+	}
+	// [NOT] BETWEEN / IN
+	not := false
+	if p.at(tokKeyword, "NOT") && p.pos+1 < len(p.toks) &&
+		(p.toks[p.pos+1].text == "BETWEEN" || p.toks[p.pos+1].text == "IN") {
+		p.pos++
+		not = true
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: left, Lo: lo, Hi: hi, Not: not}, nil
+	}
+	if p.accept(tokKeyword, "IN") {
+		if err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{X: left, List: list, Not: not}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			right, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	left, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokSymbol, "+"):
+			op = "+"
+		case p.accept(tokSymbol, "-"):
+			op = "-"
+		case p.accept(tokSymbol, "||"):
+			op = "||"
+		default:
+			return left, nil
+		}
+		right, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokSymbol, "*"):
+			op = "*"
+		case p.accept(tokSymbol, "/"):
+			op = "/"
+		case p.accept(tokSymbol, "%"):
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	p.accept(tokSymbol, "+")
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Literal{Value: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Literal{Value: n}, nil
+	case t.kind == tokString:
+		p.pos++
+		return &Literal{Value: t.text}, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.pos++
+		return &Literal{Value: true}, nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.pos++
+		return &Literal{Value: false}, nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.pos++
+		return &Literal{Value: nil}, nil
+	case t.kind == tokKeyword && t.text == "CASE":
+		return p.caseExpr()
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.pos++
+		name := t.text
+		// Function call.
+		if p.accept(tokSymbol, "(") {
+			call := &CallExpr{Name: strings.ToLower(name)}
+			if p.accept(tokSymbol, "*") {
+				call.Star = true
+				if err := p.expect(tokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if p.accept(tokSymbol, ")") {
+				return call, nil
+			}
+			for {
+				e, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, e)
+				if p.accept(tokSymbol, ",") {
+					continue
+				}
+				break
+			}
+			if err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified column reference.
+		if p.accept(tokSymbol, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: name, Name: col}, nil
+		}
+		return &ColRef{Name: name}, nil
+	}
+	return nil, p.errf("expected expression, found %q", t.text)
+}
+
+func (p *parser) caseExpr() (Expr, error) {
+	if err := p.expect(tokKeyword, "CASE"); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{}
+	for p.accept(tokKeyword, "WHEN") {
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, struct{ Cond, Then Expr }{cond, then})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errf("CASE needs at least one WHEN")
+	}
+	if p.accept(tokKeyword, "ELSE") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}

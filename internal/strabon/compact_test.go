@@ -1,0 +1,97 @@
+package strabon
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/column"
+	"repro/internal/rdf"
+)
+
+func TestCompact(t *testing.T) {
+	st := NewStore()
+	for i := 0; i < 100; i++ {
+		st.Add(tr(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("o%d", i)))
+	}
+	for i := 0; i < 50; i++ {
+		st.Remove(tr(fmt.Sprintf("s%d", i*2), "p", fmt.Sprintf("o%d", i*2)))
+	}
+	pID, _ := st.LookupID(rdf.IRI("p"))
+	before := st.MatchIDs(TriplePattern{P: pID})
+	beforeTerms := decodeObjects(t, st, before)
+
+	if got := st.Compact(); got != 50 {
+		t.Fatalf("reclaimed = %d", got)
+	}
+	if st.Len() != 50 {
+		t.Fatalf("len = %d", st.Len())
+	}
+	// Same logical contents after compaction.
+	after := st.MatchIDs(TriplePattern{P: pID})
+	afterTerms := decodeObjects(t, st, after)
+	if len(afterTerms) != len(beforeTerms) {
+		t.Fatalf("rows %d != %d", len(afterTerms), len(beforeTerms))
+	}
+	for i := range beforeTerms {
+		if beforeTerms[i] != afterTerms[i] {
+			t.Fatalf("row %d: %s != %s", i, afterTerms[i], beforeTerms[i])
+		}
+	}
+	// Second compaction is a no-op.
+	if st.Compact() != 0 {
+		t.Fatal("idempotent")
+	}
+	// Mutations keep working after compaction.
+	if !st.Add(tr("new", "p", "x")) {
+		t.Fatal("add after compact")
+	}
+	if !st.Remove(tr("s1", "p", "o1")) {
+		t.Fatal("remove after compact")
+	}
+	if st.Len() != 50 {
+		t.Fatalf("len = %d", st.Len())
+	}
+}
+
+func decodeObjects(t *testing.T, st *Store, rows []int) []string {
+	t.Helper()
+	var out []string
+	for _, row := range rows {
+		_, _, o := st.Row(row)
+		term, ok := st.Dict().Decode(o)
+		if !ok {
+			t.Fatal("decode")
+		}
+		out = append(out, term.Value)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestAsTable(t *testing.T) {
+	st := NewStore()
+	st.Add(tr("a", "p", "x"))
+	st.Add(tr("b", "p", "y"))
+	st.Add(tr("c", "q", "z"))
+	st.Remove(tr("b", "p", "y"))
+	tbl := st.AsTable()
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	// The id columns decode back to the original terms.
+	for i := 0; i < tbl.NumRows(); i++ {
+		for _, col := range []string{"s", "p", "o"} {
+			id := uint64(tbl.Col(col).Int(i))
+			if _, ok := st.Dict().Decode(id); !ok {
+				t.Fatalf("row %d column %s: id %d does not decode", i, col, id)
+			}
+		}
+	}
+	// Predicate selection on the relational face matches the index.
+	pID, _ := st.LookupID(rdf.IRI("p"))
+	hits := tbl.Col("p").SelectInt(column.Eq, int64(pID))
+	if len(hits) != len(st.MatchIDs(TriplePattern{P: pID})) {
+		t.Fatalf("relational selection = %d rows", len(hits))
+	}
+}

@@ -1,0 +1,462 @@
+// Package strabon implements the Strabon geospatial RDF store of the
+// paper: triples dictionary-encoded into three parallel integer columns
+// (the MonetDB layout under the real Strabon), secondary hash indexes on
+// each component, per-predicate statistics for the stSPARQL optimizer, and
+// an R-tree over the spatial literals for spatial filter pushdown.
+package strabon
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/column"
+	"repro/internal/geo"
+	"repro/internal/rdf"
+	"repro/internal/rtree"
+	"repro/internal/strdf"
+)
+
+// Store is the triple store. Reads are safe concurrently; writes take the
+// exclusive lock.
+type Store struct {
+	mu   sync.RWMutex
+	dict *rdf.Dictionary
+	// The three dictionary-encoded columns. Row i holds triple i; deleted
+	// rows are tombstoned with 0 and compacted on Snapshot.
+	s, p, o []uint64
+	// Component indexes: term id -> row positions.
+	byS, byP, byO map[uint64][]int
+	// triple set for duplicate suppression: key = packed spo.
+	present map[[3]uint64]int
+	deleted int
+	// Spatial side: geometry cache and R-tree over spatial literal ids.
+	geoms   map[uint64]strdf.SpatialValue
+	spatial *rtree.Tree
+	// useSpatialIndex can be disabled for the A1 ablation.
+	useSpatialIndex bool
+}
+
+// NewStore returns an empty store with the spatial index enabled.
+func NewStore() *Store {
+	return &Store{
+		dict:            rdf.NewDictionary(),
+		byS:             map[uint64][]int{},
+		byP:             map[uint64][]int{},
+		byO:             map[uint64][]int{},
+		present:         map[[3]uint64]int{},
+		geoms:           map[uint64]strdf.SpatialValue{},
+		spatial:         rtree.NewTree(0),
+		useSpatialIndex: true,
+	}
+}
+
+// SetSpatialIndexEnabled toggles R-tree use in spatial lookups (the A1
+// ablation baseline scans all spatial literals when disabled).
+func (st *Store) SetSpatialIndexEnabled(on bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.useSpatialIndex = on
+}
+
+// Dict exposes the term dictionary.
+func (st *Store) Dict() *rdf.Dictionary { return st.dict }
+
+// Len reports the number of live triples.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.s) - st.deleted
+}
+
+// Add inserts a triple; duplicates are ignored. It reports whether the
+// triple was new.
+func (st *Store) Add(t rdf.Triple) bool {
+	sID := st.dict.Encode(t.S)
+	pID := st.dict.Encode(t.P)
+	oID := st.dict.Encode(t.O)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	key := [3]uint64{sID, pID, oID}
+	if _, ok := st.present[key]; ok {
+		return false
+	}
+	row := len(st.s)
+	st.s = append(st.s, sID)
+	st.p = append(st.p, pID)
+	st.o = append(st.o, oID)
+	st.present[key] = row
+	st.byS[sID] = append(st.byS[sID], row)
+	st.byP[pID] = append(st.byP[pID], row)
+	st.byO[oID] = append(st.byO[oID], row)
+	if t.O.IsSpatial() {
+		if _, cached := st.geoms[oID]; !cached {
+			if v, err := strdf.ParseSpatial(t.O); err == nil {
+				if w, err := v.ToWGS84(); err == nil {
+					v = w
+				}
+				st.geoms[oID] = v
+				st.spatial.Insert(rtree.Item{Box: v.Geom.Envelope(), ID: oID})
+			}
+		}
+	}
+	return true
+}
+
+// AddAll inserts a batch of triples and reports how many were new.
+func (st *Store) AddAll(triples []rdf.Triple) int {
+	n := 0
+	for _, t := range triples {
+		if st.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes a triple; it reports whether it was present.
+func (st *Store) Remove(t rdf.Triple) bool {
+	sID, ok := st.dict.Lookup(t.S)
+	if !ok {
+		return false
+	}
+	pID, ok := st.dict.Lookup(t.P)
+	if !ok {
+		return false
+	}
+	oID, ok := st.dict.Lookup(t.O)
+	if !ok {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	key := [3]uint64{sID, pID, oID}
+	row, ok := st.present[key]
+	if !ok {
+		return false
+	}
+	delete(st.present, key)
+	st.s[row], st.p[row], st.o[row] = 0, 0, 0
+	st.byS[sID] = removePos(st.byS[sID], row)
+	st.byP[pID] = removePos(st.byP[pID], row)
+	st.byO[oID] = removePos(st.byO[oID], row)
+	st.deleted++
+	return true
+}
+
+func removePos(rows []int, row int) []int {
+	for i, r := range rows {
+		if r == row {
+			return append(rows[:i], rows[i+1:]...)
+		}
+	}
+	return rows
+}
+
+// TriplePattern matches triples; zero IDs are wildcards.
+type TriplePattern struct {
+	S, P, O uint64
+}
+
+// MatchIDs returns the row positions matching the pattern, using the most
+// selective available component index.
+func (st *Store) MatchIDs(pat TriplePattern) []int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.matchLocked(pat)
+}
+
+func (st *Store) matchLocked(pat TriplePattern) []int {
+	// Pick the smallest index among the bound components.
+	var candidate []int
+	candSet := false
+	consider := func(idx map[uint64][]int, id uint64) {
+		if id == 0 {
+			return
+		}
+		rows := idx[id]
+		if !candSet || len(rows) < len(candidate) {
+			candidate = rows
+			candSet = true
+		}
+	}
+	consider(st.byS, pat.S)
+	consider(st.byP, pat.P)
+	consider(st.byO, pat.O)
+	if !candSet {
+		// Full scan.
+		out := make([]int, 0, len(st.s)-st.deleted)
+		for row := range st.s {
+			if st.s[row] != 0 {
+				out = append(out, row)
+			}
+		}
+		return out
+	}
+	var out []int
+	for _, row := range candidate {
+		if pat.S != 0 && st.s[row] != pat.S {
+			continue
+		}
+		if pat.P != 0 && st.p[row] != pat.P {
+			continue
+		}
+		if pat.O != 0 && st.o[row] != pat.O {
+			continue
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Row returns the (s, p, o) ids of row.
+func (st *Store) Row(row int) (uint64, uint64, uint64) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.s[row], st.p[row], st.o[row]
+}
+
+// Cardinality estimates the number of matches for a pattern without
+// materialising them — the optimizer's selectivity source.
+func (st *Store) Cardinality(pat TriplePattern) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	est := len(st.s) - st.deleted
+	if pat.S != 0 {
+		if n := len(st.byS[pat.S]); n < est {
+			est = n
+		}
+	}
+	if pat.P != 0 {
+		if n := len(st.byP[pat.P]); n < est {
+			est = n
+		}
+	}
+	if pat.O != 0 {
+		if n := len(st.byO[pat.O]); n < est {
+			est = n
+		}
+	}
+	return est
+}
+
+// Geometry returns the cached WGS84 geometry for a spatial literal id.
+func (st *Store) Geometry(id uint64) (strdf.SpatialValue, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	v, ok := st.geoms[id]
+	return v, ok
+}
+
+// SpatialCandidates returns the ids of spatial literals whose envelope
+// intersects the query box — via the R-tree when enabled, else by scanning
+// every cached geometry (the ablation baseline).
+func (st *Store) SpatialCandidates(box geo.Envelope) []uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.useSpatialIndex {
+		return st.spatial.Search(box, nil)
+	}
+	var out []uint64
+	for id, v := range st.geoms {
+		if v.Geom.Envelope().Intersects(box) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Triples materialises all live triples (decoded), in row order.
+func (st *Store) Triples() []rdf.Triple {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]rdf.Triple, 0, len(st.s)-st.deleted)
+	for row := range st.s {
+		if st.s[row] == 0 {
+			continue
+		}
+		s, _ := st.dict.Decode(st.s[row])
+		p, _ := st.dict.Decode(st.p[row])
+		o, _ := st.dict.Decode(st.o[row])
+		out = append(out, rdf.Triple{S: s, P: p, O: o})
+	}
+	return out
+}
+
+// Stats summarises the store for diagnostics and the optimizer.
+type Stats struct {
+	Triples         int
+	Terms           int
+	SpatialLiterals int
+	Predicates      int
+}
+
+// Stats returns a snapshot of store statistics.
+func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	nPreds := 0
+	for _, rows := range st.byP {
+		if len(rows) > 0 {
+			nPreds++
+		}
+	}
+	return Stats{
+		Triples:         len(st.s) - st.deleted,
+		Terms:           st.dict.Len(),
+		SpatialLiterals: len(st.geoms),
+		Predicates:      nPreds,
+	}
+}
+
+// AsTable materialises the live triples as a three-column relational
+// table of dictionary ids — the MonetDB layout the paper's Strabon sits
+// on, usable directly by the SciQL engine for mixed relational/RDF work.
+func (st *Store) AsTable() *column.Table {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	n := len(st.s) - st.deleted
+	s := make([]int64, 0, n)
+	p := make([]int64, 0, n)
+	o := make([]int64, 0, n)
+	for row := range st.s {
+		if st.s[row] == 0 {
+			continue
+		}
+		s = append(s, int64(st.s[row]))
+		p = append(p, int64(st.p[row]))
+		o = append(o, int64(st.o[row]))
+	}
+	t := column.NewTable("triples",
+		column.Field{Name: "s", Typ: column.Int64},
+		column.Field{Name: "p", Typ: column.Int64},
+		column.Field{Name: "o", Typ: column.Int64})
+	t.Cols[0] = column.NewInt64(s)
+	t.Cols[1] = column.NewInt64(p)
+	t.Cols[2] = column.NewInt64(o)
+	return t
+}
+
+// Compact rewrites the triple columns without tombstones and rebuilds the
+// component indexes. Long-running stores call this after heavy DELETE
+// workloads (the refinement rewrites every coastal hotspot's geometry).
+// It reports the number of tombstones reclaimed.
+func (st *Store) Compact() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.deleted == 0 {
+		return 0
+	}
+	reclaimed := st.deleted
+	n := len(st.s) - st.deleted
+	s := make([]uint64, 0, n)
+	p := make([]uint64, 0, n)
+	o := make([]uint64, 0, n)
+	byS := make(map[uint64][]int, len(st.byS))
+	byP := make(map[uint64][]int, len(st.byP))
+	byO := make(map[uint64][]int, len(st.byO))
+	present := make(map[[3]uint64]int, n)
+	for row := range st.s {
+		if st.s[row] == 0 {
+			continue
+		}
+		newRow := len(s)
+		s = append(s, st.s[row])
+		p = append(p, st.p[row])
+		o = append(o, st.o[row])
+		byS[st.s[row]] = append(byS[st.s[row]], newRow)
+		byP[st.p[row]] = append(byP[st.p[row]], newRow)
+		byO[st.o[row]] = append(byO[st.o[row]], newRow)
+		present[[3]uint64{st.s[row], st.p[row], st.o[row]}] = newRow
+	}
+	st.s, st.p, st.o = s, p, o
+	st.byS, st.byP, st.byO = byS, byP, byO
+	st.present = present
+	st.deleted = 0
+	return reclaimed
+}
+
+// Persistence ----------------------------------------------------------------
+
+const (
+	dictFile    = "dictionary.bin"
+	triplesFile = "triples.nt"
+)
+
+// Save writes the store to a directory: the dictionary snapshot plus the
+// triples in N-Triples (robust, diffable, and the dictionary re-encodes on
+// load, matching ids by insertion order).
+func (st *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	df, err := os.Create(filepath.Join(dir, dictFile))
+	if err != nil {
+		return err
+	}
+	if _, err := st.dict.WriteTo(df); err != nil {
+		df.Close()
+		return err
+	}
+	if err := df.Close(); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(dir, triplesFile))
+	if err != nil {
+		return err
+	}
+	if err := rdf.WriteNTriples(tf, st.Triples()); err != nil {
+		tf.Close()
+		return err
+	}
+	return tf.Close()
+}
+
+// Load reads a store saved by Save.
+func Load(dir string) (*Store, error) {
+	st := NewStore()
+	df, err := os.Open(filepath.Join(dir, dictFile))
+	if err != nil {
+		return nil, err
+	}
+	dict, err := rdf.ReadDictionary(df)
+	df.Close()
+	if err != nil {
+		return nil, err
+	}
+	st.dict = dict
+	tf, err := os.Open(filepath.Join(dir, triplesFile))
+	if err != nil {
+		return nil, err
+	}
+	defer tf.Close()
+	triples, err := rdf.ParseNTriples(tf)
+	if err != nil {
+		return nil, err
+	}
+	st.AddAll(triples)
+	return st, nil
+}
+
+// LoadNTriples bulk-loads an N-Triples stream into the store.
+func (st *Store) LoadNTriples(r io.Reader) (int, error) {
+	triples, err := rdf.ParseNTriples(r)
+	if err != nil {
+		return 0, err
+	}
+	return st.AddAll(triples), nil
+}
+
+// ErrNotFound is returned by lookups of unknown terms.
+var ErrNotFound = fmt.Errorf("strabon: term not found")
+
+// LookupID returns the dictionary id for a term.
+func (st *Store) LookupID(t rdf.Term) (uint64, error) {
+	id, ok := st.dict.Lookup(t)
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return id, nil
+}

@@ -1,0 +1,130 @@
+package stsparql
+
+import "repro/internal/rdf"
+
+// QueryForm tags the statement kind.
+type QueryForm int
+
+// Statement forms.
+const (
+	FormSelect QueryForm = iota + 1
+	FormAsk
+	FormConstruct
+	FormInsertData
+	FormDeleteData
+	FormModify // DELETE/INSERT ... WHERE
+)
+
+// PatTerm is a pattern position: either a concrete RDF term or a variable.
+type PatTerm struct {
+	Var  string // non-empty when this position is a variable
+	Term rdf.Term
+}
+
+// IsVar reports whether the position is a variable.
+func (p PatTerm) IsVar() bool { return p.Var != "" }
+
+// Pattern is one triple pattern.
+type Pattern struct {
+	S, P, O PatTerm
+}
+
+// Vars returns the variable names used in the pattern.
+func (p Pattern) Vars() []string {
+	var out []string
+	for _, t := range []PatTerm{p.S, p.P, p.O} {
+		if t.IsVar() {
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// Group is a graph pattern: basic patterns, filters, binds, optional
+// sub-groups and unions of alternative sub-groups.
+type Group struct {
+	Patterns  []Pattern
+	Filters   []Expression
+	Optionals []*Group
+	Binds     []BindClause
+	// Unions holds { A } UNION { B } ... blocks: each entry is the list
+	// of alternatives of one block.
+	Unions [][]*Group
+}
+
+// BindClause is BIND(expr AS ?v).
+type BindClause struct {
+	Expr Expression
+	Var  string
+}
+
+// Expression is a FILTER/BIND/projection expression.
+type Expression interface{ sexpr() }
+
+// EVar references a variable.
+type EVar struct{ Name string }
+
+// ELit is a constant term.
+type ELit struct{ Term rdf.Term }
+
+// EBinary applies && || = != < <= > >= + - * /.
+type EBinary struct {
+	Op          string
+	Left, Right Expression
+}
+
+// EUnary applies ! or unary minus.
+type EUnary struct {
+	Op string
+	X  Expression
+}
+
+// ECall invokes a builtin or strdf: function; Name is the resolved,
+// lower-cased local name ("intersects", "bound", "regex", ...) and NS the
+// namespace ("strdf" or "" for SPARQL builtins).
+type ECall struct {
+	NS   string
+	Name string
+	Args []Expression
+	Star bool // COUNT(*)
+}
+
+func (*EVar) sexpr()    {}
+func (*ELit) sexpr()    {}
+func (*EBinary) sexpr() {}
+func (*EUnary) sexpr()  {}
+func (*ECall) sexpr()   {}
+
+// Projection is one SELECT item: a plain variable or (expr AS ?v).
+type Projection struct {
+	Var  string
+	Expr Expression // nil for plain variables
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expression
+	Desc bool
+}
+
+// Query is a parsed stSPARQL statement.
+type Query struct {
+	Form     QueryForm
+	Prefixes map[string]string
+	// Select parts.
+	Distinct    bool
+	SelectStar  bool
+	Projections []Projection
+	Where       *Group
+	// GroupBy lists grouping variables for aggregate queries.
+	GroupBy []string
+	OrderBy []OrderKey
+	Limit   int // -1 absent
+	Offset  int
+	// Construct/Modify templates.
+	ConstructTemplate []Pattern
+	InsertTemplate    []Pattern
+	DeleteTemplate    []Pattern
+	// Ground data for INSERT DATA / DELETE DATA.
+	Data []rdf.Triple
+}

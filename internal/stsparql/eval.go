@@ -1,0 +1,822 @@
+package stsparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+	"repro/internal/strdf"
+)
+
+// Binding maps variable names to RDF terms.
+type Binding map[string]rdf.Term
+
+// Result is the outcome of a statement.
+type Result struct {
+	// Vars and Bindings hold SELECT results.
+	Vars     []string
+	Bindings []Binding
+	// Bool holds ASK results.
+	Bool bool
+	// Triples holds CONSTRUCT results.
+	Triples []rdf.Triple
+	// Affected counts update mutations.
+	Affected int
+}
+
+// Engine evaluates stSPARQL against a Strabon store.
+type Engine struct {
+	store *strabon.Store
+	// DisableOptimizer keeps basic graph patterns in syntactic order
+	// (ablation A1 companion; the default orders by selectivity).
+	DisableOptimizer bool
+	// DisableSpatialPushdown stops spatial filters from pruning via the
+	// store's R-tree (ablation A1).
+	DisableSpatialPushdown bool
+
+	geomMu    sync.Mutex
+	geomCache map[string]strdf.SpatialValue
+}
+
+// New returns an engine over the given store.
+func New(store *strabon.Store) *Engine {
+	return &Engine{store: store, geomCache: map[string]strdf.SpatialValue{}}
+}
+
+// Store exposes the underlying store.
+func (e *Engine) Store() *strabon.Store { return e.store }
+
+// Query parses and evaluates one statement.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Eval(q)
+}
+
+// MustQuery is Query that panics on error; for tests and fixtures.
+func (e *Engine) MustQuery(src string) *Result {
+	r, err := e.Query(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Eval evaluates a parsed statement.
+func (e *Engine) Eval(q *Query) (*Result, error) {
+	switch q.Form {
+	case FormSelect:
+		return e.evalSelect(q)
+	case FormAsk:
+		bindings, err := e.evalGroup(q.Where, []Binding{{}})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Bool: len(bindings) > 0}, nil
+	case FormConstruct:
+		bindings, err := e.evalGroup(q.Where, []Binding{{}})
+		if err != nil {
+			return nil, err
+		}
+		var out []rdf.Triple
+		seen := map[rdf.Triple]bool{}
+		for _, b := range bindings {
+			for _, pat := range q.ConstructTemplate {
+				t, ok := instantiate(pat, b)
+				if ok && !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+		return &Result{Triples: out}, nil
+	case FormInsertData:
+		return &Result{Affected: e.store.AddAll(q.Data)}, nil
+	case FormDeleteData:
+		n := 0
+		for _, t := range q.Data {
+			if e.store.Remove(t) {
+				n++
+			}
+		}
+		return &Result{Affected: n}, nil
+	case FormModify:
+		return e.evalModify(q)
+	}
+	return nil, fmt.Errorf("stsparql: unsupported query form %d", q.Form)
+}
+
+func (e *Engine) evalModify(q *Query) (*Result, error) {
+	bindings, err := e.evalGroup(q.Where, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	// Materialise all deletions and insertions before applying, so the
+	// WHERE evaluation is not perturbed mid-update.
+	var dels, ins []rdf.Triple
+	for _, b := range bindings {
+		for _, pat := range q.DeleteTemplate {
+			if t, ok := instantiate(pat, b); ok {
+				dels = append(dels, t)
+			}
+		}
+		for _, pat := range q.InsertTemplate {
+			if t, ok := instantiate(pat, b); ok {
+				ins = append(ins, t)
+			}
+		}
+	}
+	for _, t := range dels {
+		if e.store.Remove(t) {
+			affected++
+		}
+	}
+	for _, t := range ins {
+		if e.store.Add(t) {
+			affected++
+		}
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func instantiate(pat Pattern, b Binding) (rdf.Triple, bool) {
+	resolve := func(pt PatTerm) (rdf.Term, bool) {
+		if !pt.IsVar() {
+			return pt.Term, true
+		}
+		t, ok := b[pt.Var]
+		return t, ok
+	}
+	s, ok := resolve(pat.S)
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	p, ok := resolve(pat.P)
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	o, ok := resolve(pat.O)
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	return rdf.Triple{S: s, P: p, O: o}, true
+}
+
+func (e *Engine) evalSelect(q *Query) (*Result, error) {
+	bindings, err := e.evalGroup(q.Where, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	// Aggregate projections group and collapse.
+	if len(q.GroupBy) > 0 || hasAggregate(q.Projections) {
+		return e.evalAggregateSelect(q, bindings)
+	}
+	// Determine output variables.
+	vars := projectionVars(q, bindings)
+	// Evaluate expression projections.
+	out := make([]Binding, 0, len(bindings))
+	for _, b := range bindings {
+		nb := Binding{}
+		for _, v := range vars {
+			if t, ok := b[v]; ok {
+				nb[v] = t
+			}
+		}
+		for _, pr := range q.Projections {
+			if pr.Expr == nil {
+				continue
+			}
+			t, err := e.evalExpr(pr.Expr, b)
+			if err == nil && !t.IsZero() {
+				nb[pr.Var] = t
+			}
+		}
+		out = append(out, nb)
+	}
+	if q.Distinct {
+		out = distinctBindings(vars, out)
+	}
+	if len(q.OrderBy) > 0 {
+		if err := e.orderBindings(out, q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(out) {
+			out = nil
+		} else {
+			out = out[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return &Result{Vars: vars, Bindings: out}, nil
+}
+
+func isAggregateName(name string) bool {
+	switch name {
+	case "count", "sum", "avg", "min", "max":
+		return true
+	}
+	return false
+}
+
+func hasAggregate(prs []Projection) bool {
+	for _, pr := range prs {
+		if c, ok := pr.Expr.(*ECall); ok && isAggregateName(c.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// evalAggregateSelect implements GROUP BY plus the SPARQL 1.1 aggregates
+// COUNT, SUM, AVG, MIN, MAX. Without GROUP BY the whole solution sequence
+// is one group.
+func (e *Engine) evalAggregateSelect(q *Query, bindings []Binding) (*Result, error) {
+	type grp struct {
+		rep  Binding
+		rows []Binding
+	}
+	var groups []*grp
+	if len(q.GroupBy) == 0 {
+		groups = []*grp{{rep: Binding{}, rows: bindings}}
+	} else {
+		byKey := map[string]*grp{}
+		for _, b := range bindings {
+			var key strings.Builder
+			for _, v := range q.GroupBy {
+				key.WriteString(b[v].String())
+				key.WriteByte('|')
+			}
+			g, ok := byKey[key.String()]
+			if !ok {
+				rep := Binding{}
+				for _, v := range q.GroupBy {
+					if t, bound := b[v]; bound {
+						rep[v] = t
+					}
+				}
+				g = &grp{rep: rep}
+				byKey[key.String()] = g
+				groups = append(groups, g)
+			}
+			g.rows = append(g.rows, b)
+		}
+	}
+	var vars []string
+	for _, pr := range q.Projections {
+		vars = append(vars, pr.Var)
+	}
+	out := make([]Binding, 0, len(groups))
+	for _, g := range groups {
+		row := Binding{}
+		for _, pr := range q.Projections {
+			if pr.Expr == nil {
+				// A plain variable must be a grouping variable.
+				if t, ok := g.rep[pr.Var]; ok {
+					row[pr.Var] = t
+					continue
+				}
+				return nil, fmt.Errorf("stsparql: projected variable ?%s is not in GROUP BY", pr.Var)
+			}
+			c, ok := pr.Expr.(*ECall)
+			if !ok || !isAggregateName(c.Name) {
+				return nil, fmt.Errorf("stsparql: aggregate queries allow only aggregate expression projections")
+			}
+			t, err := e.evalAggregateCall(c, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			if !t.IsZero() {
+				row[pr.Var] = t
+			}
+		}
+		out = append(out, row)
+	}
+	if len(q.OrderBy) > 0 {
+		if err := e.orderBindings(out, q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(out) {
+			out = nil
+		} else {
+			out = out[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return &Result{Vars: vars, Bindings: out}, nil
+}
+
+// evalAggregateCall computes one aggregate over a group's rows.
+func (e *Engine) evalAggregateCall(c *ECall, rows []Binding) (rdf.Term, error) {
+	if c.Name == "count" && c.Star {
+		return rdf.IntegerLiteral(int64(len(rows))), nil
+	}
+	if len(c.Args) != 1 {
+		return rdf.Term{}, fmt.Errorf("stsparql: %s takes one argument", strings.ToUpper(c.Name))
+	}
+	if c.Name == "count" {
+		n := 0
+		for _, b := range rows {
+			if v, err := e.evalExpr(c.Args[0], b); err == nil && !v.IsZero() {
+				n++
+			}
+		}
+		return rdf.IntegerLiteral(int64(n)), nil
+	}
+	var sum float64
+	var count int
+	var minT, maxT rdf.Term
+	for _, b := range rows {
+		v, err := e.evalExpr(c.Args[0], b)
+		if err != nil {
+			continue // unbound / erroring rows are skipped per SPARQL
+		}
+		switch c.Name {
+		case "sum", "avg":
+			f, ok := numericValue(v)
+			if !ok {
+				return rdf.Term{}, fmt.Errorf("stsparql: %s over non-numeric value %s", strings.ToUpper(c.Name), v)
+			}
+			sum += f
+			count++
+		case "min":
+			if minT.IsZero() || compareTerms(v, minT) < 0 {
+				minT = v
+			}
+			count++
+		case "max":
+			if maxT.IsZero() || compareTerms(v, maxT) > 0 {
+				maxT = v
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return rdf.Term{}, nil // aggregate over the empty group is unbound
+	}
+	switch c.Name {
+	case "sum":
+		return rdf.DoubleLiteral(sum), nil
+	case "avg":
+		return rdf.DoubleLiteral(sum / float64(count)), nil
+	case "min":
+		return minT, nil
+	case "max":
+		return maxT, nil
+	}
+	return rdf.Term{}, fmt.Errorf("stsparql: unknown aggregate %q", c.Name)
+}
+
+func projectionVars(q *Query, bindings []Binding) []string {
+	if !q.SelectStar {
+		vars := make([]string, 0, len(q.Projections))
+		for _, pr := range q.Projections {
+			vars = append(vars, pr.Var)
+		}
+		return vars
+	}
+	seen := map[string]bool{}
+	var vars []string
+	for _, b := range bindings {
+		for v := range b {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+func distinctBindings(vars []string, in []Binding) []Binding {
+	seen := map[string]bool{}
+	var out []Binding
+	for _, b := range in {
+		var key strings.Builder
+		for _, v := range vars {
+			key.WriteString(b[v].String())
+			key.WriteByte('|')
+		}
+		if !seen[key.String()] {
+			seen[key.String()] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (e *Engine) orderBindings(bs []Binding, keys []OrderKey) error {
+	var evalErr error
+	sort.SliceStable(bs, func(i, j int) bool {
+		for _, k := range keys {
+			vi, errI := e.evalExpr(k.Expr, bs[i])
+			vj, errJ := e.evalExpr(k.Expr, bs[j])
+			if errI != nil || errJ != nil {
+				continue
+			}
+			c := compareTerms(vi, vj)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return evalErr
+}
+
+// evalGroup evaluates a graph pattern group, extending the seed bindings.
+func (e *Engine) evalGroup(g *Group, seed []Binding) ([]Binding, error) {
+	if g == nil {
+		return seed, nil
+	}
+	hints := e.spatialHints(g.Filters)
+	patterns := g.Patterns
+	if !e.DisableOptimizer {
+		patterns = e.orderPatterns(patterns, seed, hints)
+	}
+	bindings := seed
+	for _, pat := range patterns {
+		var err error
+		bindings, err = e.evalPattern(pat, bindings, hints)
+		if err != nil {
+			return nil, err
+		}
+		if len(bindings) == 0 {
+			break
+		}
+	}
+	// BIND clauses.
+	for _, bc := range g.Binds {
+		for i, b := range bindings {
+			t, err := e.evalExpr(bc.Expr, b)
+			if err != nil {
+				continue // unevaluable BIND leaves the var unbound
+			}
+			nb := cloneBinding(b)
+			nb[bc.Var] = t
+			bindings[i] = nb
+		}
+	}
+	// FILTERs.
+	for _, f := range g.Filters {
+		var kept []Binding
+		for _, b := range bindings {
+			ok, err := e.evalFilter(f, b)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, b)
+			}
+		}
+		bindings = kept
+	}
+	// UNION blocks: each surviving binding extends through every
+	// alternative; the block's solutions are the concatenation.
+	for _, alts := range g.Unions {
+		var next []Binding
+		for _, b := range bindings {
+			for _, alt := range alts {
+				sub, err := e.evalGroup(alt, []Binding{b})
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, sub...)
+			}
+		}
+		bindings = next
+	}
+	// OPTIONAL groups (left join).
+	for _, opt := range g.Optionals {
+		var next []Binding
+		for _, b := range bindings {
+			sub, err := e.evalGroup(opt, []Binding{b})
+			if err != nil {
+				return nil, err
+			}
+			if len(sub) == 0 {
+				next = append(next, b)
+			} else {
+				next = append(next, sub...)
+			}
+		}
+		bindings = next
+	}
+	return bindings, nil
+}
+
+func cloneBinding(b Binding) Binding {
+	nb := make(Binding, len(b)+1)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+// orderPatterns greedily orders patterns by estimated result size, treating
+// variables bound by earlier patterns (or the seed) as selective joins.
+func (e *Engine) orderPatterns(patterns []Pattern, seed []Binding, hints map[string]geo.Envelope) []Pattern {
+	if len(patterns) <= 1 {
+		return patterns
+	}
+	bound := map[string]bool{}
+	if len(seed) > 0 {
+		for v := range seed[0] {
+			bound[v] = true
+		}
+	}
+	remaining := append([]Pattern(nil), patterns...)
+	var ordered []Pattern
+	for len(remaining) > 0 {
+		bestIdx, bestCost := 0, int(^uint(0)>>1)
+		for i, pat := range remaining {
+			cost := e.estimate(pat, bound)
+			// A spatial hint on the object variable prunes the pattern's
+			// matches through the R-tree; run such patterns early.
+			if v := objVar(pat); v != "" {
+				if _, hinted := hints[v]; hinted && !bound[v] {
+					cost = cost/16 + 1
+				}
+			}
+			if cost < bestCost {
+				bestIdx, bestCost = i, cost
+			}
+		}
+		chosen := remaining[bestIdx]
+		ordered = append(ordered, chosen)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		for _, v := range chosen.Vars() {
+			bound[v] = true
+		}
+	}
+	return ordered
+}
+
+// estimate scores a pattern: the store cardinality of its constant parts,
+// discounted when variables are already bound (a bound join key typically
+// touches few rows).
+func (e *Engine) estimate(pat Pattern, bound map[string]bool) int {
+	tp := strabon.TriplePattern{}
+	boundVars := 0
+	resolve := func(pt PatTerm, set func(uint64)) {
+		if pt.IsVar() {
+			if bound[pt.Var] {
+				boundVars++
+			}
+			return
+		}
+		if id, err := e.store.LookupID(pt.Term); err == nil {
+			set(id)
+		} else {
+			// Unknown constant: the pattern cannot match.
+			set(^uint64(0))
+		}
+	}
+	unmatchable := false
+	wrap := func(dst *uint64) func(uint64) {
+		return func(id uint64) {
+			if id == ^uint64(0) {
+				unmatchable = true
+				return
+			}
+			*dst = id
+		}
+	}
+	resolve(pat.S, wrap(&tp.S))
+	resolve(pat.P, wrap(&tp.P))
+	resolve(pat.O, wrap(&tp.O))
+	if unmatchable {
+		return 0
+	}
+	est := e.store.Cardinality(tp)
+	// Each already-bound variable restricts the result roughly like an
+	// equality selection; use a /8 discount per bound var.
+	for i := 0; i < boundVars; i++ {
+		est = est/8 + 1
+	}
+	return est
+}
+
+// spatialHints extracts per-variable bounding boxes from filters of the
+// shape strdf:rel(?v, CONST) (or reversed) and distance comparisons,
+// enabling R-tree pruning during pattern evaluation.
+func (e *Engine) spatialHints(filters []Expression) map[string]geo.Envelope {
+	if e.DisableSpatialPushdown {
+		return nil
+	}
+	hints := map[string]geo.Envelope{}
+	var walk func(ex Expression)
+	walk = func(ex Expression) {
+		switch t := ex.(type) {
+		case *EBinary:
+			if t.Op == "&&" {
+				walk(t.Left)
+				walk(t.Right)
+				return
+			}
+			// strdf:distance(?v, CONST) < N  (any comparison ordering).
+			if t.Op == "<" || t.Op == "<=" {
+				if call, ok := t.Left.(*ECall); ok && call.NS == "strdf" && call.Name == "distance" {
+					if lit, ok := t.Right.(*ELit); ok {
+						if v, g, ok := varConstGeom(call.Args, e); ok {
+							if meters, ok2 := numericValue(lit.Term); ok2 {
+								// Conservative degree expansion: 1 degree is
+								// at least ~78 km of longitude below 45 lat.
+								deg := meters / 78000
+								addHint(hints, v, g.Geom.Envelope().Expand(deg))
+							}
+						}
+					}
+				}
+			}
+		case *ECall:
+			if t.NS != "strdf" {
+				return
+			}
+			switch t.Name {
+			case "intersects", "within", "equals", "touches", "overlaps", "crosses", "contains":
+				if v, g, ok := varConstGeom(t.Args, e); ok {
+					addHint(hints, v, g.Geom.Envelope())
+				}
+			}
+		}
+	}
+	for _, f := range filters {
+		walk(f)
+	}
+	return hints
+}
+
+func addHint(hints map[string]geo.Envelope, v string, env geo.Envelope) {
+	if cur, ok := hints[v]; ok {
+		// Multiple constraints: intersect the boxes.
+		hints[v] = cur.Intersection(env)
+		return
+	}
+	hints[v] = env
+}
+
+// varConstGeom matches argument lists (?v, CONSTGEOM) or (CONSTGEOM, ?v).
+func varConstGeom(args []Expression, e *Engine) (string, strdf.SpatialValue, bool) {
+	if len(args) != 2 {
+		return "", strdf.SpatialValue{}, false
+	}
+	if v, ok := args[0].(*EVar); ok {
+		if lit, ok := args[1].(*ELit); ok && lit.Term.IsSpatial() {
+			if g, err := e.parseGeom(lit.Term); err == nil {
+				return v.Name, g, true
+			}
+		}
+	}
+	if v, ok := args[1].(*EVar); ok {
+		if lit, ok := args[0].(*ELit); ok && lit.Term.IsSpatial() {
+			if g, err := e.parseGeom(lit.Term); err == nil {
+				return v.Name, g, true
+			}
+		}
+	}
+	return "", strdf.SpatialValue{}, false
+}
+
+// evalPattern extends each binding with the matches of one pattern.
+func (e *Engine) evalPattern(pat Pattern, bindings []Binding, hints map[string]geo.Envelope) ([]Binding, error) {
+	// Spatial candidate set for an unbound object variable with a hint.
+	var spatialSet map[uint64]bool
+	if env, ok := hints[objVar(pat)]; ok {
+		ids := e.store.SpatialCandidates(env)
+		spatialSet = make(map[uint64]bool, len(ids))
+		for _, id := range ids {
+			spatialSet[id] = true
+		}
+	}
+	var out []Binding
+	for _, b := range bindings {
+		tp, ok := e.boundPattern(pat, b)
+		if !ok {
+			continue // a constant term unknown to the store: no matches
+		}
+		rows := e.store.MatchIDs(tp)
+		for _, row := range rows {
+			s, p, o := e.store.Row(row)
+			if spatialSet != nil && pat.O.IsVar() {
+				if _, bound := b[pat.O.Var]; !bound && !spatialSet[o] {
+					continue
+				}
+			}
+			nb, ok := e.extend(b, pat, s, p, o)
+			if ok {
+				out = append(out, nb)
+			}
+		}
+	}
+	return out, nil
+}
+
+func objVar(pat Pattern) string {
+	if pat.O.IsVar() {
+		return pat.O.Var
+	}
+	return ""
+}
+
+// boundPattern resolves a pattern under a binding into store ids; ok is
+// false when a constant (or bound var) is unknown to the dictionary.
+func (e *Engine) boundPattern(pat Pattern, b Binding) (strabon.TriplePattern, bool) {
+	var tp strabon.TriplePattern
+	fill := func(pt PatTerm, dst *uint64) bool {
+		var term rdf.Term
+		switch {
+		case pt.IsVar():
+			t, bound := b[pt.Var]
+			if !bound {
+				return true // stays a wildcard
+			}
+			term = t
+		default:
+			term = pt.Term
+		}
+		id, err := e.store.LookupID(term)
+		if err != nil {
+			return false
+		}
+		*dst = id
+		return true
+	}
+	if !fill(pat.S, &tp.S) || !fill(pat.P, &tp.P) || !fill(pat.O, &tp.O) {
+		return tp, false
+	}
+	return tp, true
+}
+
+// extend adds the pattern's variable bindings from a matched row,
+// rejecting rows that conflict with existing bindings.
+func (e *Engine) extend(b Binding, pat Pattern, s, p, o uint64) (Binding, bool) {
+	nb := b
+	cloned := false
+	bind := func(pt PatTerm, id uint64) bool {
+		if !pt.IsVar() {
+			return true
+		}
+		term, ok := e.store.Dict().Decode(id)
+		if !ok {
+			return false
+		}
+		if cur, bound := nb[pt.Var]; bound {
+			return cur == term
+		}
+		if !cloned {
+			nb = cloneBinding(b)
+			cloned = true
+		}
+		nb[pt.Var] = term
+		return true
+	}
+	if !bind(pat.S, s) || !bind(pat.P, p) || !bind(pat.O, o) {
+		return nil, false
+	}
+	if !cloned {
+		nb = cloneBinding(b)
+	}
+	return nb, true
+}
+
+// parseGeom decodes a spatial literal with caching, normalised to WGS84.
+func (e *Engine) parseGeom(t rdf.Term) (strdf.SpatialValue, error) {
+	key := t.Datatype + "\x00" + t.Value
+	e.geomMu.Lock()
+	if v, ok := e.geomCache[key]; ok {
+		e.geomMu.Unlock()
+		return v, nil
+	}
+	e.geomMu.Unlock()
+	v, err := strdf.ParseSpatial(t)
+	if err != nil {
+		return strdf.SpatialValue{}, err
+	}
+	if w, err := v.ToWGS84(); err == nil {
+		v = w
+	}
+	e.geomMu.Lock()
+	e.geomCache[key] = v
+	e.geomMu.Unlock()
+	return v, nil
+}

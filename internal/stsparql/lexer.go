@@ -1,0 +1,301 @@
+// Package stsparql implements the stSPARQL query and update language of
+// the paper (SPARQL 1.1 extended with the stRDF spatial vocabulary),
+// evaluated over a Strabon store (internal/strabon).
+//
+// Supported surface:
+//
+//	PREFIX pfx: <iri>
+//	SELECT [DISTINCT] ?v ... | * | (expr AS ?v) ...
+//	  WHERE { patterns FILTER(...) OPTIONAL { ... } }
+//	  [ORDER BY [DESC(?v)|?v] ...] [LIMIT n] [OFFSET n]
+//	ASK WHERE { ... }
+//	CONSTRUCT { template } WHERE { ... }
+//	INSERT DATA { triples }      DELETE DATA { triples }
+//	DELETE { template } INSERT { template } WHERE { pattern }
+//
+// FILTER expressions include comparisons, && || !, arithmetic, BOUND, STR,
+// DATATYPE, REGEX, isIRI/isLiteral/isBlank, and the stRDF spatial
+// functions (strdf:intersects, strdf:within, strdf:contains,
+// strdf:disjoint, strdf:touches, strdf:crosses, strdf:overlaps,
+// strdf:equals, strdf:distance, strdf:area, strdf:buffer, strdf:union,
+// strdf:intersection, strdf:difference, strdf:envelope, strdf:centroid,
+// strdf:transform). Temporal filters use the strdf:period relations
+// (strdf:during, strdf:overlapsPeriod, strdf:beforePeriod).
+//
+// The evaluator orders basic graph patterns by estimated selectivity and
+// pushes spatial filters into the store's R-tree — the two optimizations
+// the A1 ablation measures.
+package stsparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tKeyword
+	tVar      // ?name
+	tIRI      // <...>
+	tPrefixed // pfx:local
+	tString   // "..." (lexical form, unescaped)
+	tNumber
+	tSymbol
+	tBlank // _:label
+	tA     // the 'a' keyword
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	pos  int
+	// For tString: the raw datatype / lang captured by the lexer.
+	lang, dtIRI, dtPrefixed string
+}
+
+var sparqlKeywords = map[string]bool{
+	"SELECT": true, "WHERE": true, "FILTER": true, "PREFIX": true,
+	"DISTINCT": true, "ORDER": true, "BY": true, "LIMIT": true,
+	"OFFSET": true, "ASK": true, "CONSTRUCT": true, "INSERT": true,
+	"DELETE": true, "DATA": true, "OPTIONAL": true, "UNION": true,
+	"ASC": true, "DESC": true, "AS": true, "BIND": true,
+	"TRUE": true, "FALSE": true, "NOT": true, "EXISTS": true,
+	"COUNT": true, "GROUP": true,
+}
+
+type sLexer struct {
+	src  string
+	pos  int
+	toks []tok
+}
+
+func lexQuery(src string) ([]tok, error) {
+	l := &sLexer{src: src}
+	for {
+		l.skip()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, tok{kind: tEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '?' || c == '$':
+			l.pos++
+			for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+				l.pos++
+			}
+			if l.pos == start+1 {
+				return nil, fmt.Errorf("stsparql: empty variable name at %d", start)
+			}
+			l.toks = append(l.toks, tok{kind: tVar, text: l.src[start+1 : l.pos], pos: start})
+		case c == '<':
+			// '<' starts an IRI only when a '>' follows with no intervening
+			// whitespace or quote (SPARQL IRIREF); otherwise it is the
+			// less-than operator.
+			end := -1
+			for i := l.pos + 1; i < len(l.src); i++ {
+				ch := l.src[i]
+				if ch == '>' {
+					end = i - l.pos
+					break
+				}
+				if ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' || ch == '"' || ch == '<' {
+					break
+				}
+			}
+			if end < 0 {
+				if !l.lexSymbol() {
+					return nil, fmt.Errorf("stsparql: unexpected '<' at %d", start)
+				}
+				continue
+			}
+			l.toks = append(l.toks, tok{kind: tIRI, text: l.src[l.pos+1 : l.pos+end], pos: start})
+			l.pos += end + 1
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '_' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ':':
+			l.pos += 2
+			ns := l.pos
+			for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, tok{kind: tBlank, text: l.src[ns:l.pos], pos: start})
+		case isNameStart(c):
+			for l.pos < len(l.src) && (isNameChar(l.src[l.pos]) || l.src[l.pos] == ':' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			// Trailing dots belong to statement punctuation.
+			for strings.HasSuffix(word, ".") {
+				word = word[:len(word)-1]
+				l.pos--
+			}
+			up := strings.ToUpper(word)
+			switch {
+			case word == "a":
+				l.toks = append(l.toks, tok{kind: tA, text: "a", pos: start})
+			case strings.Contains(word, ":"):
+				l.toks = append(l.toks, tok{kind: tPrefixed, text: word, pos: start})
+			case sparqlKeywords[up]:
+				l.toks = append(l.toks, tok{kind: tKeyword, text: up, pos: start})
+			default:
+				// Bare function names (BOUND, REGEX, STR...) reach the
+				// parser as keywords-by-shape.
+				l.toks = append(l.toks, tok{kind: tKeyword, text: up, pos: start})
+			}
+		case c >= '0' && c <= '9' || (c == '-' || c == '+') && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.lexNumber()
+		default:
+			if !l.lexSymbol() {
+				return nil, fmt.Errorf("stsparql: unexpected character %q at %d", string(c), l.pos)
+			}
+		}
+	}
+}
+
+func (l *sLexer) skip() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *sLexer) lexString() error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return fmt.Errorf("stsparql: unterminated string at %d", start)
+		}
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			switch l.src[l.pos+1] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return fmt.Errorf("stsparql: unknown escape \\%c at %d", l.src[l.pos+1], l.pos)
+			}
+			l.pos += 2
+			continue
+		}
+		if c == '"' {
+			l.pos++
+			break
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	t := tok{kind: tString, text: b.String(), pos: start}
+	// Language tag or datatype.
+	if l.pos < len(l.src) && l.src[l.pos] == '@' {
+		ls := l.pos + 1
+		l.pos++
+		for l.pos < len(l.src) && (isNameChar(l.src[l.pos]) || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		t.lang = l.src[ls:l.pos]
+	} else if strings.HasPrefix(l.src[l.pos:], "^^") {
+		l.pos += 2
+		if l.pos < len(l.src) && l.src[l.pos] == '<' {
+			end := strings.IndexByte(l.src[l.pos:], '>')
+			if end < 0 {
+				return fmt.Errorf("stsparql: unterminated datatype IRI at %d", l.pos)
+			}
+			t.dtIRI = l.src[l.pos+1 : l.pos+end]
+			l.pos += end + 1
+		} else {
+			ds := l.pos
+			for l.pos < len(l.src) && (isNameChar(l.src[l.pos]) || l.src[l.pos] == ':') {
+				l.pos++
+			}
+			t.dtPrefixed = l.src[ds:l.pos]
+			if t.dtPrefixed == "" {
+				return fmt.Errorf("stsparql: empty datatype after ^^ at %d", l.pos)
+			}
+		}
+	}
+	l.toks = append(l.toks, t)
+	return nil
+}
+
+func (l *sLexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+		l.pos++
+	}
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot && !seenExp && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && !seenExp {
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, tok{kind: tNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *sLexer) lexSymbol() bool {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		switch two {
+		case "&&", "||", "<=", ">=", "!=":
+			l.toks = append(l.toks, tok{kind: tSymbol, text: two, pos: l.pos})
+			l.pos += 2
+			return true
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '{', '}', '(', ')', '.', ';', ',', '*', '+', '-', '/', '=', '<', '>', '!':
+		l.toks = append(l.toks, tok{kind: tSymbol, text: string(c), pos: l.pos})
+		l.pos++
+		return true
+	}
+	return false
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,766 @@
+package stsparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/strdf"
+)
+
+// WellKnownPrefixes are pre-declared in every query, mirroring Strabon's
+// endpoint defaults.
+var WellKnownPrefixes = map[string]string{
+	"rdf":   "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+	"rdfs":  "http://www.w3.org/2000/01/rdf-schema#",
+	"xsd":   "http://www.w3.org/2001/XMLSchema#",
+	"strdf": strdf.NS,
+	"geo":   "http://www.opengis.net/ont/geosparql#",
+}
+
+// ParseQuery parses one stSPARQL statement.
+func ParseQuery(src string) (*Query, error) {
+	toks, err := lexQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks, src: src, q: &Query{Limit: -1, Prefixes: map[string]string{}}}
+	for k, v := range WellKnownPrefixes {
+		p.q.Prefixes[k] = v
+	}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+type qparser struct {
+	toks []tok
+	pos  int
+	src  string
+	q    *Query
+	anon int
+}
+
+func (p *qparser) cur() tok { return p.toks[p.pos] }
+
+func (p *qparser) errf(format string, args ...any) error {
+	return fmt.Errorf("stsparql: %s (near offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+func (p *qparser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *qparser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *qparser) expect(kind tokKind, text string) error {
+	if p.accept(kind, text) {
+		return nil
+	}
+	return p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *qparser) parse() error {
+	for p.accept(tKeyword, "PREFIX") {
+		if !p.at(tPrefixed, "") && !p.at(tSymbol, ":") {
+			// A prefixed token like "ex:" carries the colon.
+			return p.errf("expected prefix name")
+		}
+		name := strings.TrimSuffix(p.cur().text, ":")
+		p.pos++
+		if !p.at(tIRI, "") {
+			return p.errf("expected namespace IRI after PREFIX %s:", name)
+		}
+		p.q.Prefixes[name] = p.cur().text
+		p.pos++
+	}
+	switch {
+	case p.accept(tKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.accept(tKeyword, "ASK"):
+		p.q.Form = FormAsk
+		p.accept(tKeyword, "WHERE")
+		g, err := p.groupPattern()
+		if err != nil {
+			return err
+		}
+		p.q.Where = g
+		return p.expectEOF()
+	case p.accept(tKeyword, "CONSTRUCT"):
+		p.q.Form = FormConstruct
+		tmpl, err := p.templateBlock()
+		if err != nil {
+			return err
+		}
+		p.q.ConstructTemplate = tmpl
+		if err := p.expect(tKeyword, "WHERE"); err != nil {
+			return err
+		}
+		g, err := p.groupPattern()
+		if err != nil {
+			return err
+		}
+		p.q.Where = g
+		return p.expectEOF()
+	case p.accept(tKeyword, "INSERT"):
+		if p.accept(tKeyword, "DATA") {
+			p.q.Form = FormInsertData
+			return p.parseGroundData()
+		}
+		p.q.Form = FormModify
+		tmpl, err := p.templateBlock()
+		if err != nil {
+			return err
+		}
+		p.q.InsertTemplate = tmpl
+		return p.parseModifyTail(false)
+	case p.accept(tKeyword, "DELETE"):
+		if p.accept(tKeyword, "DATA") {
+			p.q.Form = FormDeleteData
+			return p.parseGroundData()
+		}
+		p.q.Form = FormModify
+		// DELETE WHERE { pattern } shorthand.
+		if p.at(tKeyword, "WHERE") {
+			p.pos++
+			g, err := p.groupPattern()
+			if err != nil {
+				return err
+			}
+			p.q.Where = g
+			p.q.DeleteTemplate = g.Patterns
+			return p.expectEOF()
+		}
+		tmpl, err := p.templateBlock()
+		if err != nil {
+			return err
+		}
+		p.q.DeleteTemplate = tmpl
+		return p.parseModifyTail(true)
+	}
+	return p.errf("expected SELECT, ASK, CONSTRUCT, INSERT or DELETE")
+}
+
+func (p *qparser) parseModifyTail(hadDelete bool) error {
+	if hadDelete && p.accept(tKeyword, "INSERT") {
+		tmpl, err := p.templateBlock()
+		if err != nil {
+			return err
+		}
+		p.q.InsertTemplate = tmpl
+	}
+	if err := p.expect(tKeyword, "WHERE"); err != nil {
+		return err
+	}
+	g, err := p.groupPattern()
+	if err != nil {
+		return err
+	}
+	p.q.Where = g
+	return p.expectEOF()
+}
+
+func (p *qparser) expectEOF() error {
+	if p.cur().kind != tEOF {
+		return p.errf("trailing input %q", p.cur().text)
+	}
+	return nil
+}
+
+func (p *qparser) parseSelect() error {
+	p.q.Form = FormSelect
+	p.q.Distinct = p.accept(tKeyword, "DISTINCT")
+	for {
+		switch {
+		case p.accept(tSymbol, "*"):
+			p.q.SelectStar = true
+		case p.at(tVar, ""):
+			p.q.Projections = append(p.q.Projections, Projection{Var: p.cur().text})
+			p.pos++
+		case p.at(tSymbol, "("):
+			p.pos++
+			e, err := p.expression()
+			if err != nil {
+				return err
+			}
+			if err := p.expect(tKeyword, "AS"); err != nil {
+				return err
+			}
+			if !p.at(tVar, "") {
+				return p.errf("expected variable after AS")
+			}
+			v := p.cur().text
+			p.pos++
+			if err := p.expect(tSymbol, ")"); err != nil {
+				return err
+			}
+			p.q.Projections = append(p.q.Projections, Projection{Var: v, Expr: e})
+		default:
+			if len(p.q.Projections) == 0 && !p.q.SelectStar {
+				return p.errf("SELECT needs projections")
+			}
+			goto whereClause
+		}
+		if p.at(tKeyword, "WHERE") || p.at(tSymbol, "{") {
+			break
+		}
+	}
+whereClause:
+	p.accept(tKeyword, "WHERE")
+	g, err := p.groupPattern()
+	if err != nil {
+		return err
+	}
+	p.q.Where = g
+	// Solution modifiers.
+	if p.accept(tKeyword, "GROUP") {
+		if err := p.expect(tKeyword, "BY"); err != nil {
+			return err
+		}
+		for p.at(tVar, "") {
+			p.q.GroupBy = append(p.q.GroupBy, p.cur().text)
+			p.pos++
+		}
+		if len(p.q.GroupBy) == 0 {
+			return p.errf("GROUP BY needs at least one variable")
+		}
+	}
+	if p.accept(tKeyword, "ORDER") {
+		if err := p.expect(tKeyword, "BY"); err != nil {
+			return err
+		}
+		for {
+			var key OrderKey
+			switch {
+			case p.accept(tKeyword, "DESC"):
+				if err := p.expect(tSymbol, "("); err != nil {
+					return err
+				}
+				e, err := p.expression()
+				if err != nil {
+					return err
+				}
+				if err := p.expect(tSymbol, ")"); err != nil {
+					return err
+				}
+				key = OrderKey{Expr: e, Desc: true}
+			case p.accept(tKeyword, "ASC"):
+				if err := p.expect(tSymbol, "("); err != nil {
+					return err
+				}
+				e, err := p.expression()
+				if err != nil {
+					return err
+				}
+				if err := p.expect(tSymbol, ")"); err != nil {
+					return err
+				}
+				key = OrderKey{Expr: e}
+			case p.at(tVar, ""):
+				key = OrderKey{Expr: &EVar{Name: p.cur().text}}
+				p.pos++
+			default:
+				return p.errf("expected ORDER BY key")
+			}
+			p.q.OrderBy = append(p.q.OrderBy, key)
+			if !p.at(tVar, "") && !p.at(tKeyword, "DESC") && !p.at(tKeyword, "ASC") {
+				break
+			}
+		}
+	}
+	if p.accept(tKeyword, "LIMIT") {
+		n, err := p.intToken()
+		if err != nil {
+			return err
+		}
+		p.q.Limit = n
+	}
+	if p.accept(tKeyword, "OFFSET") {
+		n, err := p.intToken()
+		if err != nil {
+			return err
+		}
+		p.q.Offset = n
+	}
+	return p.expectEOF()
+}
+
+func (p *qparser) intToken() (int, error) {
+	if p.cur().kind != tNumber {
+		return 0, p.errf("expected number")
+	}
+	n, err := strconv.Atoi(p.cur().text)
+	if err != nil || n < 0 {
+		return 0, p.errf("bad count %q", p.cur().text)
+	}
+	p.pos++
+	return n, nil
+}
+
+// groupPattern parses { patterns FILTER(...) OPTIONAL {...} BIND(... AS ?v) }.
+func (p *qparser) groupPattern() (*Group, error) {
+	if err := p.expect(tSymbol, "{"); err != nil {
+		return nil, err
+	}
+	g := &Group{}
+	for {
+		switch {
+		case p.accept(tSymbol, "}"):
+			return g, nil
+		case p.accept(tKeyword, "FILTER"):
+			withParens := p.accept(tSymbol, "(")
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if withParens {
+				if err := p.expect(tSymbol, ")"); err != nil {
+					return nil, err
+				}
+			}
+			g.Filters = append(g.Filters, e)
+			p.accept(tSymbol, ".")
+		case p.accept(tKeyword, "OPTIONAL"):
+			sub, err := p.groupPattern()
+			if err != nil {
+				return nil, err
+			}
+			g.Optionals = append(g.Optionals, sub)
+			p.accept(tSymbol, ".")
+		case p.at(tSymbol, "{"):
+			// { A } UNION { B } [UNION { C } ...]
+			first, err := p.groupPattern()
+			if err != nil {
+				return nil, err
+			}
+			alts := []*Group{first}
+			for p.accept(tKeyword, "UNION") {
+				alt, err := p.groupPattern()
+				if err != nil {
+					return nil, err
+				}
+				alts = append(alts, alt)
+			}
+			if len(alts) == 1 {
+				// A bare nested group behaves like inlined patterns.
+				g.Patterns = append(g.Patterns, first.Patterns...)
+				g.Filters = append(g.Filters, first.Filters...)
+				g.Optionals = append(g.Optionals, first.Optionals...)
+				g.Binds = append(g.Binds, first.Binds...)
+				g.Unions = append(g.Unions, first.Unions...)
+			} else {
+				g.Unions = append(g.Unions, alts)
+			}
+			p.accept(tSymbol, ".")
+		case p.accept(tKeyword, "BIND"):
+			if err := p.expect(tSymbol, "("); err != nil {
+				return nil, err
+			}
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tKeyword, "AS"); err != nil {
+				return nil, err
+			}
+			if !p.at(tVar, "") {
+				return nil, p.errf("expected variable in BIND")
+			}
+			v := p.cur().text
+			p.pos++
+			if err := p.expect(tSymbol, ")"); err != nil {
+				return nil, err
+			}
+			g.Binds = append(g.Binds, BindClause{Expr: e, Var: v})
+			p.accept(tSymbol, ".")
+		default:
+			pats, err := p.triplesSameSubject()
+			if err != nil {
+				return nil, err
+			}
+			g.Patterns = append(g.Patterns, pats...)
+			if !p.accept(tSymbol, ".") {
+				// A '}' must follow if no dot.
+				if !p.at(tSymbol, "}") {
+					return nil, p.errf("expected '.' or '}' after triple pattern")
+				}
+			}
+		}
+	}
+}
+
+// templateBlock parses { template triples } used by CONSTRUCT/INSERT/DELETE.
+func (p *qparser) templateBlock() ([]Pattern, error) {
+	if err := p.expect(tSymbol, "{"); err != nil {
+		return nil, err
+	}
+	var out []Pattern
+	for {
+		if p.accept(tSymbol, "}") {
+			return out, nil
+		}
+		pats, err := p.triplesSameSubject()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pats...)
+		if !p.accept(tSymbol, ".") && !p.at(tSymbol, "}") {
+			return nil, p.errf("expected '.' or '}' in template")
+		}
+	}
+}
+
+func (p *qparser) parseGroundData() error {
+	pats, err := p.templateBlock()
+	if err != nil {
+		return err
+	}
+	for _, pat := range pats {
+		if pat.S.IsVar() || pat.P.IsVar() || pat.O.IsVar() {
+			return p.errf("INSERT/DELETE DATA cannot contain variables")
+		}
+		p.q.Data = append(p.q.Data, rdf.Triple{S: pat.S.Term, P: pat.P.Term, O: pat.O.Term})
+	}
+	return p.expectEOF()
+}
+
+// triplesSameSubject parses s p o [; p o]* [, o]*.
+func (p *qparser) triplesSameSubject() ([]Pattern, error) {
+	s, err := p.patTerm(true)
+	if err != nil {
+		return nil, err
+	}
+	var out []Pattern
+	for {
+		pred, err := p.patTerm(false)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			obj, err := p.patTerm(true)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Pattern{S: s, P: pred, O: obj})
+			if p.accept(tSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if p.accept(tSymbol, ";") {
+			// Allow trailing ';' before '.' or '}'.
+			if p.at(tSymbol, ".") || p.at(tSymbol, "}") {
+				break
+			}
+			continue
+		}
+		break
+	}
+	return out, nil
+}
+
+// patTerm parses one pattern position. allowLiteral permits literals
+// (subjects/predicates reject them semantically later; predicates use 'a').
+func (p *qparser) patTerm(allowLiteral bool) (PatTerm, error) {
+	t := p.cur()
+	switch t.kind {
+	case tVar:
+		p.pos++
+		return PatTerm{Var: t.text}, nil
+	case tIRI:
+		p.pos++
+		return PatTerm{Term: rdf.IRI(t.text)}, nil
+	case tA:
+		p.pos++
+		return PatTerm{Term: rdf.IRI(rdf.RDFType)}, nil
+	case tPrefixed:
+		p.pos++
+		iri, err := p.expandPrefixed(t.text)
+		if err != nil {
+			return PatTerm{}, err
+		}
+		return PatTerm{Term: rdf.IRI(iri)}, nil
+	case tBlank:
+		p.pos++
+		return PatTerm{Term: rdf.Blank(t.text)}, nil
+	case tString:
+		if !allowLiteral {
+			return PatTerm{}, p.errf("literal not allowed here")
+		}
+		p.pos++
+		term, err := p.stringTerm(t)
+		if err != nil {
+			return PatTerm{}, err
+		}
+		return PatTerm{Term: term}, nil
+	case tNumber:
+		if !allowLiteral {
+			return PatTerm{}, p.errf("literal not allowed here")
+		}
+		p.pos++
+		return PatTerm{Term: numberTerm(t.text)}, nil
+	case tKeyword:
+		if t.text == "TRUE" || t.text == "FALSE" {
+			p.pos++
+			return PatTerm{Term: rdf.BooleanLiteral(t.text == "TRUE")}, nil
+		}
+	}
+	return PatTerm{}, p.errf("expected term, found %q", t.text)
+}
+
+func (p *qparser) stringTerm(t tok) (rdf.Term, error) {
+	switch {
+	case t.lang != "":
+		return rdf.LangLiteral(t.text, t.lang), nil
+	case t.dtIRI != "":
+		return rdf.TypedLiteral(t.text, t.dtIRI), nil
+	case t.dtPrefixed != "":
+		iri, err := p.expandPrefixed(t.dtPrefixed)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.TypedLiteral(t.text, iri), nil
+	default:
+		return rdf.Literal(t.text), nil
+	}
+}
+
+func numberTerm(text string) rdf.Term {
+	if strings.ContainsAny(text, ".eE") {
+		if strings.ContainsAny(text, "eE") {
+			return rdf.TypedLiteral(text, rdf.XSDDouble)
+		}
+		return rdf.TypedLiteral(text, rdf.XSDDecimal)
+	}
+	return rdf.TypedLiteral(text, rdf.XSDInteger)
+}
+
+func (p *qparser) expandPrefixed(name string) (string, error) {
+	i := strings.IndexByte(name, ':')
+	if i < 0 {
+		return "", p.errf("malformed prefixed name %q", name)
+	}
+	ns, ok := p.q.Prefixes[name[:i]]
+	if !ok {
+		return "", p.errf("unknown prefix %q", name[:i])
+	}
+	return ns + name[i+1:], nil
+}
+
+// Expression grammar: || -> && -> comparison -> additive -> multiplicative
+// -> unary -> primary.
+
+func (p *qparser) expression() (Expression, error) { return p.orExpr() }
+
+func (p *qparser) orExpr() (Expression, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tSymbol, "||") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &EBinary{Op: "||", Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) andExpr() (Expression, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tSymbol, "&&") {
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &EBinary{Op: "&&", Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) cmpExpr() (Expression, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "!=", "=", "<", ">"} {
+		if p.accept(tSymbol, op) {
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &EBinary{Op: op, Left: l, Right: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *qparser) addExpr() (Expression, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tSymbol, "+"):
+			op = "+"
+		case p.accept(tSymbol, "-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &EBinary{Op: op, Left: l, Right: r}
+	}
+}
+
+func (p *qparser) mulExpr() (Expression, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tSymbol, "*"):
+			op = "*"
+		case p.accept(tSymbol, "/"):
+			op = "/"
+		default:
+			return l, nil
+		}
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &EBinary{Op: op, Left: l, Right: r}
+	}
+}
+
+func (p *qparser) unaryExpr() (Expression, error) {
+	if p.accept(tSymbol, "!") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &EUnary{Op: "!", X: x}, nil
+	}
+	if p.accept(tSymbol, "-") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &EUnary{Op: "-", X: x}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *qparser) primaryExpr() (Expression, error) {
+	t := p.cur()
+	switch t.kind {
+	case tVar:
+		p.pos++
+		return &EVar{Name: t.text}, nil
+	case tNumber:
+		p.pos++
+		return &ELit{Term: numberTerm(t.text)}, nil
+	case tString:
+		p.pos++
+		term, err := p.stringTerm(t)
+		if err != nil {
+			return nil, err
+		}
+		return &ELit{Term: term}, nil
+	case tIRI:
+		p.pos++
+		return &ELit{Term: rdf.IRI(t.text)}, nil
+	case tSymbol:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tKeyword:
+		// Builtin function call (BOUND, REGEX, STR, ...) or TRUE/FALSE.
+		switch t.text {
+		case "TRUE":
+			p.pos++
+			return &ELit{Term: rdf.BooleanLiteral(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &ELit{Term: rdf.BooleanLiteral(false)}, nil
+		}
+		p.pos++
+		return p.callTail("", strings.ToLower(t.text))
+	case tPrefixed:
+		// strdf:intersects(...) etc.
+		p.pos++
+		i := strings.IndexByte(t.text, ':')
+		ns := t.text[:i]
+		local := t.text[i+1:]
+		if p.at(tSymbol, "(") {
+			return p.callTail(ns, strings.ToLower(local))
+		}
+		iri, err := p.expandPrefixed(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return &ELit{Term: rdf.IRI(iri)}, nil
+	}
+	return nil, p.errf("expected expression, found %q", t.text)
+}
+
+func (p *qparser) callTail(ns, name string) (Expression, error) {
+	if err := p.expect(tSymbol, "("); err != nil {
+		return nil, err
+	}
+	call := &ECall{NS: ns, Name: name}
+	if p.accept(tSymbol, "*") {
+		call.Star = true
+		if err := p.expect(tSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	if p.accept(tSymbol, ")") {
+		return call, nil
+	}
+	for {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, e)
+		if p.accept(tSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(tSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}

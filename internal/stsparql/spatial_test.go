@@ -1,0 +1,208 @@
+package stsparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+	"repro/internal/strdf"
+)
+
+// Coverage for the remaining strdf: function surface.
+
+func spatialFixture() *Engine {
+	st := strabon.NewStore()
+	add := func(name, wkt string) {
+		st.Add(rdf.NewTriple(rdf.IRI(exNS+name), rdf.IRI(noaNS+"hasGeometry"),
+			rdf.WKTLiteral(wkt, 4326)))
+	}
+	add("square", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+	add("overlapping", "POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))")
+	add("touching", "POLYGON ((4 0, 8 0, 8 4, 4 4, 4 0))")
+	add("crossline", "LINESTRING (-1 2, 5 2)")
+	add("farpoint", "POINT (100 0)")
+	return New(st)
+}
+
+func askSpatial(t *testing.T, e *Engine, fn, a, b string) bool {
+	t.Helper()
+	res, err := e.Query(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		ASK WHERE {
+			<http://example.org/` + a + `> noa:hasGeometry ?g1 .
+			<http://example.org/` + b + `> noa:hasGeometry ?g2 .
+			FILTER(strdf:` + fn + `(?g1, ?g2))
+		}`)
+	if err != nil {
+		t.Fatalf("strdf:%s: %v", fn, err)
+	}
+	return res.Bool
+}
+
+func TestSpatialPredicateMatrix(t *testing.T) {
+	e := spatialFixture()
+	cases := []struct {
+		fn, a, b string
+		want     bool
+	}{
+		{"overlaps", "square", "overlapping", true},
+		{"overlaps", "square", "touching", false},
+		{"touches", "square", "touching", true},
+		{"touches", "square", "overlapping", false},
+		{"crosses", "crossline", "square", true},
+		{"crosses", "crossline", "farpoint", false},
+		{"disjoint", "square", "farpoint", true},
+		{"equals", "square", "square", true},
+		{"equals", "square", "overlapping", false},
+		{"anyinteract", "square", "overlapping", true},
+	}
+	for _, c := range cases {
+		if got := askSpatial(t, e, c.fn, c.a, c.b); got != c.want {
+			t.Errorf("strdf:%s(%s, %s) = %v, want %v", c.fn, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSpatialConstructorsFull(t *testing.T) {
+	e := spatialFixture()
+	res := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		SELECT (strdf:envelope(?g) AS ?env) (strdf:centroid(?g) AS ?c)
+		       (strdf:union(?g, ?g2) AS ?u) (strdf:intersection(?g, ?g2) AS ?i)
+		WHERE {
+			<http://example.org/square> noa:hasGeometry ?g .
+			<http://example.org/overlapping> noa:hasGeometry ?g2 .
+		}`)
+	b := res.Bindings[0]
+	env, err := strdf.ParseSpatial(b["env"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.Area(env.Geom) != 16 {
+		t.Fatalf("envelope area = %g", geo.Area(env.Geom))
+	}
+	c, err := strdf.ParseSpatial(b["c"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt := c.Geom.(geo.Point); pt.X != 2 || pt.Y != 2 {
+		t.Fatalf("centroid = %v", pt)
+	}
+	u, err := strdf.ParseSpatial(b["u"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := geo.Area(u.Geom); a < 27.9 || a > 28.1 {
+		t.Fatalf("union area = %g", a)
+	}
+	i, err := strdf.ParseSpatial(b["i"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := geo.Area(i.Geom); a < 3.9 || a > 4.1 {
+		t.Fatalf("intersection area = %g", a)
+	}
+}
+
+func TestSpatialTransformAndIsEmpty(t *testing.T) {
+	e := spatialFixture()
+	res := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		SELECT (strdf:transform(?g, 3857) AS ?merc)
+		       (strdf:isEmpty(?g) AS ?empty)
+		       (strdf:isEmpty(strdf:intersection(?g, ?far)) AS ?emptyInter)
+		WHERE {
+			<http://example.org/square> noa:hasGeometry ?g .
+			<http://example.org/farpoint> noa:hasGeometry ?far .
+		}`)
+	b := res.Bindings[0]
+	merc, err := strdf.ParseSpatial(b["merc"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merc.SRID != geo.SRIDWebMercator {
+		t.Fatalf("srid = %d", merc.SRID)
+	}
+	// 4 degrees of longitude in Mercator metres is ~445 km.
+	if w := merc.Geom.Envelope().Width(); w < 4e5 || w > 5e5 {
+		t.Fatalf("mercator width = %g", w)
+	}
+	if b["empty"].Value != "false" || b["emptyInter"].Value != "true" {
+		t.Fatalf("isEmpty = %v / %v", b["empty"], b["emptyInter"])
+	}
+}
+
+func TestSpatialFunctionErrors(t *testing.T) {
+	e := spatialFixture()
+	// Non-spatial argument: filter drops the row rather than aborting.
+	res := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		SELECT ?s WHERE {
+			?s noa:hasGeometry ?g .
+			FILTER(strdf:intersects(?s, ?g))
+		}`)
+	if len(res.Bindings) != 0 {
+		t.Fatal("IRI as geometry should never match")
+	}
+	// Unknown strdf function errors at projection (BIND leaves unbound).
+	res2 := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		SELECT ?v WHERE {
+			<http://example.org/square> noa:hasGeometry ?g .
+			BIND(strdf:nosuchfn(?g) AS ?v)
+		}`)
+	if len(res2.Bindings) != 1 {
+		t.Fatalf("rows = %d", len(res2.Bindings))
+	}
+	if _, bound := res2.Bindings[0]["v"]; bound {
+		t.Fatal("unknown function should leave BIND unbound")
+	}
+}
+
+func TestBeforePeriodAndContains(t *testing.T) {
+	st := strabon.NewStore()
+	st.Add(rdf.NewTriple(rdf.IRI(exNS+"x"), rdf.IRI(noaNS+"validTime"),
+		rdf.TypedLiteral("[2007-08-25T06:00:00Z, 2007-08-25T08:00:00Z)", strdf.PeriodDatatype)))
+	e := New(st)
+	yes := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		ASK WHERE {
+			?x noa:validTime ?t .
+			FILTER(strdf:beforePeriod(?t, "[2007-08-25T09:00:00Z, 2007-08-25T10:00:00Z)"^^strdf:period))
+		}`)
+	if !yes.Bool {
+		t.Fatal("beforePeriod")
+	}
+	contains := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+		ASK WHERE {
+			?x noa:validTime ?t .
+			FILTER(strdf:periodContains(?t, "2007-08-25T07:00:00Z"^^xsd:dateTime))
+		}`)
+	if !contains.Bool {
+		t.Fatal("periodContains")
+	}
+}
+
+func TestStrBuiltinsOnSpatial(t *testing.T) {
+	e := spatialFixture()
+	res := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		SELECT ?s WHERE {
+			?s noa:hasGeometry ?g .
+			FILTER(CONTAINS(STR(?g), "LINESTRING"))
+		}`)
+	if len(res.Bindings) != 1 || !strings.Contains(res.Bindings[0]["s"].Value, "crossline") {
+		t.Fatalf("bindings = %v", res.Bindings)
+	}
+}

@@ -1,0 +1,154 @@
+package stsparql
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+)
+
+func TestUnion(t *testing.T) {
+	e := New(fixtureStore())
+	res := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		SELECT ?x WHERE {
+			{ ?x a noa:Hotspot } UNION { ?x a noa:Town }
+		} ORDER BY ?x`)
+	if len(res.Bindings) != 5 { // 3 hotspots + 2 towns
+		t.Fatalf("rows = %d", len(res.Bindings))
+	}
+	// Triple union.
+	res3 := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		SELECT ?x WHERE {
+			{ ?x a noa:Hotspot } UNION { ?x a noa:Town } UNION { ?x a noa:Forest }
+		}`)
+	if len(res3.Bindings) != 6 {
+		t.Fatalf("triple union rows = %d", len(res3.Bindings))
+	}
+}
+
+func TestUnionWithSharedPattern(t *testing.T) {
+	e := New(fixtureStore())
+	// The union joins against an outer pattern through ?x.
+	res := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		SELECT ?x ?c WHERE {
+			?x noa:hasConfidence ?c .
+			{ ?x a noa:Hotspot } UNION { ?x a noa:Town }
+			FILTER(?c > 0.8)
+		}`)
+	// Towns have no confidence; only the two high-confidence hotspots.
+	if len(res.Bindings) != 2 {
+		t.Fatalf("rows = %d", len(res.Bindings))
+	}
+}
+
+func TestBareNestedGroup(t *testing.T) {
+	e := New(fixtureStore())
+	res := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		SELECT ?x WHERE { { ?x a noa:Hotspot } }`)
+	if len(res.Bindings) != 3 {
+		t.Fatalf("nested group rows = %d", len(res.Bindings))
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	st := strabon.NewStore()
+	add := func(s, sensor string, conf float64) {
+		st.Add(rdf.NewTriple(rdf.IRI(exNS+s), rdf.IRI(noaNS+"inSensor"), rdf.Literal(sensor)))
+		st.Add(rdf.NewTriple(rdf.IRI(exNS+s), rdf.IRI(noaNS+"hasConfidence"), rdf.DoubleLiteral(conf)))
+	}
+	add("a", "SEVIRI", 0.9)
+	add("b", "SEVIRI", 0.7)
+	add("c", "MODIS", 0.5)
+	e := New(st)
+	res := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		SELECT ?s (COUNT(*) AS ?n) (AVG(?c) AS ?m) (MAX(?c) AS ?hi) (MIN(?c) AS ?lo) (SUM(?c) AS ?sum)
+		WHERE { ?x noa:inSensor ?s . ?x noa:hasConfidence ?c }
+		GROUP BY ?s ORDER BY ?s`)
+	if len(res.Bindings) != 2 {
+		t.Fatalf("groups = %d", len(res.Bindings))
+	}
+	modis := res.Bindings[0]
+	seviri := res.Bindings[1]
+	if modis["s"].Value != "MODIS" || modis["n"].Value != "1" {
+		t.Fatalf("modis group = %v", modis)
+	}
+	if seviri["n"].Value != "2" {
+		t.Fatalf("seviri count = %v", seviri["n"])
+	}
+	if seviri["m"].Value != "0.8" {
+		t.Fatalf("seviri avg = %v", seviri["m"])
+	}
+	if seviri["hi"].Value != "0.9" || seviri["lo"].Value != "0.7" {
+		t.Fatalf("seviri min/max = %v %v", seviri["lo"], seviri["hi"])
+	}
+	if seviri["sum"].Value != "1.6" {
+		t.Fatalf("seviri sum = %v", seviri["sum"])
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	e := New(fixtureStore())
+	// Projecting a non-grouped plain variable fails.
+	if _, err := e.Query(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		SELECT ?x (COUNT(*) AS ?n) WHERE { ?x noa:hasConfidence ?c } GROUP BY ?c`); err == nil {
+		t.Fatal("non-grouped projection should fail")
+	}
+	// GROUP BY with no variable fails at parse.
+	if _, err := ParseQuery(`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY`); err == nil {
+		t.Fatal("empty GROUP BY should fail")
+	}
+	// SUM over a non-number fails.
+	if _, err := e.Query(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		SELECT (SUM(?x) AS ?n) WHERE { ?x a noa:Hotspot }`); err == nil {
+		t.Fatal("SUM over IRIs should fail")
+	}
+}
+
+func TestAggregateOverEmptyGroup(t *testing.T) {
+	e := New(fixtureStore())
+	res := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		SELECT (COUNT(*) AS ?n) (SUM(?c) AS ?s) WHERE {
+			?x a noa:Volcano . ?x noa:hasConfidence ?c
+		}`)
+	if len(res.Bindings) != 1 {
+		t.Fatalf("rows = %d", len(res.Bindings))
+	}
+	if res.Bindings[0]["n"].Value != "0" {
+		t.Fatal("empty count")
+	}
+	if _, bound := res.Bindings[0]["s"]; bound {
+		t.Fatal("SUM over empty group should be unbound")
+	}
+}
+
+func TestGroupByMultipleKeys(t *testing.T) {
+	st := strabon.NewStore()
+	add := func(s, sensor, day string) {
+		st.Add(rdf.NewTriple(rdf.IRI(exNS+s), rdf.IRI(noaNS+"inSensor"), rdf.Literal(sensor)))
+		st.Add(rdf.NewTriple(rdf.IRI(exNS+s), rdf.IRI(noaNS+"onDay"), rdf.Literal(day)))
+	}
+	add("a", "SEVIRI", "mon")
+	add("b", "SEVIRI", "mon")
+	add("c", "SEVIRI", "tue")
+	add("d", "MODIS", "mon")
+	e := New(st)
+	res := e.MustQuery(`
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		SELECT ?s ?d (COUNT(*) AS ?n) WHERE {
+			?x noa:inSensor ?s . ?x noa:onDay ?d
+		} GROUP BY ?s ?d ORDER BY DESC(?n)`)
+	if len(res.Bindings) != 3 {
+		t.Fatalf("groups = %d", len(res.Bindings))
+	}
+	if res.Bindings[0]["n"].Value != "2" {
+		t.Fatalf("largest group = %v", res.Bindings[0])
+	}
+}

@@ -1,0 +1,65 @@
+package vault
+
+import (
+	"sync"
+	"testing"
+)
+
+// Concurrent first-touch: many goroutines demanding the same and
+// different frames must all succeed, with the cache converging (no more
+// loads than products, allowing benign double-loads on races).
+func TestConcurrentFrameAccess(t *testing.T) {
+	dir := makeRepo(t, 4)
+	v := New()
+	if err := v.Attach(dir); err != nil {
+		t.Fatal(err)
+	}
+	ids := v.IDs()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				id := ids[(g+i)%len(ids)]
+				f, err := v.Frame(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if f.ID != id {
+					errs <- errMismatch
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// After the dust settles, cached reads return stable pointers.
+	f1, err := v.Frame(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := v.Frame(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatal("cache not stable")
+	}
+	s := v.Stats()
+	if s.Loads < len(ids) {
+		t.Fatalf("loads = %d, need at least %d", s.Loads, len(ids))
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "vault: frame ID mismatch" }
