@@ -1,0 +1,163 @@
+// Command teleios-server serves a Strabon store over HTTP as an
+// stSPARQL endpoint (SPARQL 1.1 Protocol): the web-accessible face of
+// the Virtual Earth Observatory.
+//
+// Usage:
+//
+//	teleios-server [-addr :8080] [-store DIR] [-nt FILE] [-linked]
+//	               [-cache N] [-max-concurrency N] [-timeout DUR]
+//	               [-readonly] [-save]
+//
+// The dataset is assembled from any combination of a saved store
+// directory (-store, as written by Store.Save), an N-Triples file (-nt)
+// and the synthetic linked open data layers (-linked). With -save the
+// store — including any INSERT/DELETE applied through the endpoint — is
+// written back to the -store directory on graceful shutdown (SIGINT or
+// SIGTERM).
+//
+// Example:
+//
+//	teleios-server -linked -addr :8080 &
+//	curl 'http://localhost:8080/sparql?format=geojson' \
+//	  --data-urlencode 'query=PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+//	    SELECT ?s ?geom WHERE { ?s noa:hasGeometry ?geom } LIMIT 5'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/endpoint"
+	"repro/internal/linkeddata"
+	"repro/internal/strabon"
+	"repro/internal/stsparql"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store", "", "load a saved Strabon store directory (see -save)")
+	ntFile := flag.String("nt", "", "load an N-Triples file")
+	linked := flag.Bool("linked", false, "preload the synthetic linked open data")
+	cacheSize := flag.Int("cache", 128, "LRU result cache capacity in entries (negative disables)")
+	maxConc := flag.Int("max-concurrency", 8, "maximum concurrently evaluating queries")
+	queueDepth := flag.Int("queue", 0, "query queue depth (0 means 4*max-concurrency, negative for no queue)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-query evaluation deadline")
+	readonly := flag.Bool("readonly", false, "reject UPDATE statements")
+	save := flag.Bool("save", false, "write the store back to -store on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *storeDir, *ntFile, *linked, *cacheSize, *maxConc, *queueDepth, *timeout, *readonly, *save); err != nil {
+		fmt.Fprintln(os.Stderr, "teleios-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, storeDir, ntFile string, linked bool, cacheSize, maxConc, queueDepth int, timeout time.Duration, readonly, save bool) error {
+	if save && storeDir == "" {
+		return errors.New("-save requires -store")
+	}
+
+	st := strabon.NewStore()
+	if storeDir != "" {
+		// Bootstrap (start empty, create the store on shutdown) only
+		// when the directory itself does not exist. A directory that
+		// exists but fails to load — even with a file-not-found from a
+		// half-written snapshot — must be an error: silently starting
+		// empty would overwrite whatever survives there on -save.
+		_, statErr := os.Stat(storeDir)
+		switch {
+		case statErr == nil:
+			loaded, err := strabon.Load(storeDir)
+			if err != nil {
+				return fmt.Errorf("loading store %s: %w", storeDir, err)
+			}
+			st = loaded
+		case os.IsNotExist(statErr) && save:
+			// Fresh dataset bootstrap.
+		default:
+			return fmt.Errorf("store directory %s: %w", storeDir, statErr)
+		}
+	}
+	if ntFile != "" {
+		f, err := os.Open(ntFile)
+		if err != nil {
+			return err
+		}
+		n, err := st.LoadNTriples(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", ntFile, err)
+		}
+		fmt.Printf("teleios-server: loaded %d triples from %s\n", n, ntFile)
+	}
+	if linked {
+		st.AddAll(linkeddata.All())
+	}
+
+	srv, err := endpoint.NewServer(endpoint.Config{
+		Engine:         stsparql.New(st),
+		Store:          st,
+		MaxConcurrency: maxConc,
+		QueueDepth:     queueDepth,
+		QueryTimeout:   timeout,
+		CacheSize:      cacheSize,
+		ReadOnly:       readonly,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		stats := st.Stats()
+		fmt.Printf("teleios-server: listening on %s (%d triples, %d spatial literals)\n",
+			addr, stats.Triples, stats.SpatialLiterals)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("teleios-server: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	shutErr := httpSrv.Shutdown(shutCtx)
+	// Drain the worker pool before snapshotting: an abandoned
+	// (timed-out) update may still be mutating the store after its HTTP
+	// connection is gone, and Save must not race it. This also means a
+	// Shutdown timeout cannot skip the save — updates already applied
+	// would be lost.
+	srv.Close()
+	if save {
+		if err := st.Save(storeDir); err != nil {
+			return fmt.Errorf("saving store: %w", err)
+		}
+		fmt.Printf("teleios-server: store saved to %s\n", storeDir)
+	}
+	if shutErr != nil {
+		return fmt.Errorf("shutdown: %w", shutErr)
+	}
+	return nil
+}

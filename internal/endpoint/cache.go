@@ -1,0 +1,114 @@
+package endpoint
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stsparql"
+)
+
+// ResultCache is an LRU cache of evaluated read-query results keyed by
+// query text and store version. A cached entry is valid only while the
+// store's Version() is unchanged; entries from older versions are evicted
+// lazily on lookup, so a single UPDATE invalidates the whole cache
+// without any bookkeeping on the write path.
+type ResultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	key     string
+	version uint64
+	res     *stsparql.Result
+}
+
+// NewResultCache returns a cache holding at most capacity results; a
+// capacity < 1 disables caching (Get always misses, Put is a no-op).
+func NewResultCache(capacity int) *ResultCache {
+	return &ResultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: map[string]*list.Element{},
+	}
+}
+
+// Get returns the cached result for key at the given store version.
+func (c *ResultCache) Get(key string, version uint64) (*stsparql.Result, bool) {
+	if c.cap < 1 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.version != version {
+		// Stale: the store mutated since this was cached.
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return ent.res, true
+}
+
+// Put stores a result for key at the given store version, evicting the
+// least recently used entry when over capacity.
+func (c *ResultCache) Put(key string, version uint64, res *stsparql.Result) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.version = version
+		ent.res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, version: version, res: res})
+	c.items[key] = el
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a snapshot of cache counters.
+type CacheStats struct {
+	Capacity int    `json:"capacity"`
+	Entries  int    `json:"entries"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *ResultCache) Stats() CacheStats {
+	return CacheStats{
+		Capacity: c.cap,
+		Entries:  c.Len(),
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+	}
+}

@@ -1,0 +1,427 @@
+// Package endpoint exposes a Strabon store over HTTP as an stSPARQL
+// query endpoint, following the SPARQL 1.1 Protocol: queries arrive via
+// GET /sparql?query=... or POST /sparql (form-encoded or raw
+// application/sparql-query body) and results are serialised according to
+// content negotiation — SPARQL Results JSON, CSV, TSV, GeoJSON feature
+// collections for rows carrying stRDF geometries, and N-Triples for
+// CONSTRUCT graphs.
+//
+// The server is built for concurrent load in front of a single store: a
+// bounded worker pool caps how many evaluations contend on the store's
+// lock at once (excess requests get fast 503s instead of queueing
+// without bound), every query runs under a deadline, and an LRU cache
+// keyed on (query text, store version) serves repeated read queries
+// without re-evaluation. UPDATE statements (INSERT/DELETE) are accepted
+// over POST only and can be disabled wholesale with Config.ReadOnly.
+//
+// Beyond /sparql the handler serves /health (liveness plus triple count)
+// and /stats (store, cache, and pool counters) for operations.
+package endpoint
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+	"repro/internal/strdf"
+	"repro/internal/stsparql"
+)
+
+// QueryEngine evaluates one parsed stSPARQL statement. *stsparql.Engine
+// implements it; tests substitute slow or failing engines. The handler
+// parses before dispatching (for 400s, update gating, and serialisation),
+// so the engine receives the already-parsed query and never re-parses.
+type QueryEngine interface {
+	Eval(q *stsparql.Query) (*stsparql.Result, error)
+}
+
+// errEvalPanic wraps a panic recovered from the evaluator so the
+// handler can map it to a 500.
+var errEvalPanic = errors.New("endpoint: evaluation panicked")
+
+// Config parameterises a Server. The zero value of each field selects a
+// sensible default (see the field comments).
+//
+// The server must be the store's only writer: update atomicity and
+// cache consistency are enforced at this layer (updates are serialised
+// against each other and against reads here, not in the engine), so
+// mutating the store out of band — a second Server over the same
+// Store, or direct Store.Add/Engine.Eval update calls while the server
+// runs — can interleave with in-flight statements and produce torn
+// reads the engine's per-triple locking cannot prevent.
+type Config struct {
+	// Engine evaluates queries. Required.
+	Engine QueryEngine
+	// Store, when set, supplies the version counter that keys the result
+	// cache and the statistics for /health and /stats. Without it the
+	// cache is disabled (results could go stale invisibly).
+	Store *strabon.Store
+	// MaxConcurrency bounds simultaneously evaluating queries
+	// (default 8).
+	MaxConcurrency int
+	// QueueDepth bounds queries waiting for a worker (default
+	// 4*MaxConcurrency; negative selects an unbuffered handoff, where a
+	// request is rejected unless a worker is immediately free). A full
+	// queue produces 503s.
+	QueueDepth int
+	// QueryTimeout bounds one evaluation, queue wait included
+	// (default 30s). Expiry produces a 503 with Retry-After.
+	QueryTimeout time.Duration
+	// CacheSize is the LRU result-cache capacity in entries
+	// (default 128; 0 keeps the default, negative disables).
+	CacheSize int
+	// MaxCacheableRows bounds the size of an individual cached result
+	// (bindings or triples); larger results are served but not cached,
+	// so a few huge SELECTs cannot pin unbounded memory (default 10000).
+	MaxCacheableRows int
+	// ReadOnly rejects UPDATE statements with 403.
+	ReadOnly bool
+	// MaxQueryBytes bounds the request query text (default 1 MiB).
+	MaxQueryBytes int64
+}
+
+// Server is the stSPARQL protocol endpoint.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	cache *ResultCache
+	// updateMu gives UPDATE statements statement-level atomicity: the
+	// engine applies a modify's deletions and insertions triple-by-triple
+	// under separate store-lock acquisitions, so without exclusion here
+	// two updates would interleave (lost updates, duplicate rows) and a
+	// concurrent read could observe a torn half-applied state. Updates
+	// take the write lock; reads take the read lock and so still run
+	// concurrently with each other.
+	updateMu sync.RWMutex
+}
+
+// NewServer validates cfg, applies defaults, and returns a Server whose
+// worker pool is running. Callers must Close it when done.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("endpoint: Config.Engine is required")
+	}
+	if cfg.MaxConcurrency <= 0 {
+		cfg.MaxConcurrency = 8
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 4 * cfg.MaxConcurrency
+	}
+	// Negative passes through; NewPool clamps it to a depth-0 handoff.
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = 30 * time.Second
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.Store == nil {
+		// No version source: caching would serve stale results forever.
+		cfg.CacheSize = -1
+	}
+	if cfg.MaxQueryBytes <= 0 {
+		cfg.MaxQueryBytes = 1 << 20
+	}
+	if cfg.MaxCacheableRows <= 0 {
+		cfg.MaxCacheableRows = 10000
+	}
+	return &Server{
+		cfg:   cfg,
+		pool:  NewPool(cfg.MaxConcurrency, cfg.QueueDepth),
+		cache: NewResultCache(cfg.CacheSize),
+	}, nil
+}
+
+// Close drains the worker pool. In-flight queries finish; new requests
+// fail with 503.
+func (s *Server) Close() { s.pool.Close() }
+
+// Handler returns the endpoint's HTTP handler: /sparql, /health, /stats.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sparql", s.handleSparql)
+	mux.HandleFunc("/health", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}
+
+// extractQuery pulls the statement text out of a protocol request:
+// ?query= on GET; form fields query=/update= or a raw
+// application/sparql-query / application/sparql-update body on POST.
+func (s *Server) extractQuery(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return "", errors.New("missing required 'query' parameter")
+		}
+		if int64(len(q)) > s.cfg.MaxQueryBytes {
+			return "", fmt.Errorf("query exceeds the %d-byte limit", s.cfg.MaxQueryBytes)
+		}
+		return q, nil
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if i := strings.IndexByte(ct, ';'); i >= 0 {
+			ct = ct[:i]
+		}
+		ct = strings.TrimSpace(strings.ToLower(ct))
+		r.Body = http.MaxBytesReader(nil, r.Body, s.cfg.MaxQueryBytes)
+		switch ct {
+		case "application/sparql-query", "application/sparql-update":
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				return "", fmt.Errorf("reading body: %w", err)
+			}
+			if len(body) == 0 {
+				return "", errors.New("empty request body")
+			}
+			return string(body), nil
+		default:
+			// Form-encoded (the default for curl --data-urlencode).
+			if err := r.ParseForm(); err != nil {
+				return "", fmt.Errorf("parsing form: %w", err)
+			}
+			if q := r.PostForm.Get("query"); q != "" {
+				return q, nil
+			}
+			if q := r.PostForm.Get("update"); q != "" {
+				return q, nil
+			}
+			return "", errors.New("missing 'query' or 'update' form field")
+		}
+	default:
+		return "", errors.New("method not allowed")
+	}
+}
+
+func isUpdateForm(form stsparql.QueryForm) bool {
+	switch form {
+	case stsparql.FormInsertData, stsparql.FormDeleteData, stsparql.FormModify:
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
+		return
+	}
+	src, err := s.extractQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Parse up front: malformed queries 400 without occupying a worker,
+	// and the form drives update gating plus result serialisation.
+	parsed, err := stsparql.ParseQuery(src)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	update := isUpdateForm(parsed.Form)
+	var format Format
+	if update {
+		if s.cfg.ReadOnly {
+			http.Error(w, "endpoint is read-only", http.StatusForbidden)
+			return
+		}
+		if r.Method == http.MethodGet {
+			// The protocol forbids updates via GET (they mutate state).
+			w.Header().Set("Allow", "POST")
+			http.Error(w, "updates require POST", http.StatusMethodNotAllowed)
+			return
+		}
+		// Update responses are always JSON; Accept does not apply.
+	} else {
+		var negErr *negotiationError
+		format, negErr = negotiateFormat(r.URL.Query().Get("format"), r.Header.Get("Accept"), parsed.Form)
+		if negErr != nil {
+			http.Error(w, negErr.message, negErr.status)
+			return
+		}
+	}
+
+	res, err := s.evaluate(r.Context(), src, parsed, update)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrOverloaded) || errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, errEvalPanic):
+		http.Error(w, "internal error evaluating the query", http.StatusInternalServerError)
+		return
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		if update {
+			// The evaluator is not preemptible: a timed-out update may
+			// still be applied by the worker after this response. Don't
+			// invite a blind retry of a non-idempotent statement with
+			// Retry-After — report the ambiguity instead.
+			http.Error(w, "update timed out; it may or may not have been applied — verify before retrying",
+				http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "query timed out", http.StatusServiceUnavailable)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	if update {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"affected\":%d}\n", res.Affected)
+		return
+	}
+	w.Header().Set("Content-Type", format.ContentType())
+	if err := writeResult(w, res, parsed.Form, format, s.resolveGeom); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+// resolveGeom decodes a spatial literal through the store's ingest-time
+// geometry cache when possible (already parsed and WGS84-normalised),
+// parsing directly only for literals the store has never seen (e.g.
+// values computed by strdf:buffer in a projection). The cache entry is
+// only trusted when it really is WGS84: ingest keeps the original
+// coordinates when a literal's CRS cannot be reprojected, and GeoJSON
+// must render such rows with a null geometry, not mislabeled planar
+// coordinates.
+func (s *Server) resolveGeom(t rdf.Term) (strdf.SpatialValue, error) {
+	if s.cfg.Store != nil {
+		if id, err := s.cfg.Store.LookupID(t); err == nil {
+			if sv, ok := s.cfg.Store.Geometry(id); ok &&
+				(sv.SRID == geo.SRIDWGS84 || sv.SRID == geo.SRIDCRS84) {
+				return sv, nil
+			}
+		}
+	}
+	return parseGeomDirect(t)
+}
+
+// evaluate runs one statement through the cache and worker pool under
+// the configured deadline. src is the raw query text (the cache key);
+// parsed is its parse, handed to the engine so it is not re-parsed.
+func (s *Server) evaluate(ctx context.Context, src string, parsed *stsparql.Query, update bool) (*stsparql.Result, error) {
+	var version uint64
+	if s.cfg.Store != nil {
+		version = s.cfg.Store.Version()
+	}
+	if !update {
+		if res, ok := s.cache.Get(src, version); ok {
+			return res, nil
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.QueryTimeout)
+	defer cancel()
+	var (
+		res     *stsparql.Result
+		evalErr error
+	)
+	if err := s.pool.Submit(ctx, func() {
+		// A panic in the evaluator must fail this one request with a
+		// 500, not take down the process (pool workers are outside
+		// net/http's per-handler recovery).
+		defer func() {
+			if r := recover(); r != nil {
+				evalErr = fmt.Errorf("%w: %v", errEvalPanic, r)
+			}
+		}()
+		if update {
+			s.updateMu.Lock()
+			defer s.updateMu.Unlock()
+		} else {
+			s.updateMu.RLock()
+			defer s.updateMu.RUnlock()
+		}
+		res, evalErr = s.cfg.Engine.Eval(parsed)
+	}); err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if !update && s.cfg.Store != nil &&
+		len(res.Bindings)+len(res.Triples) <= s.cfg.MaxCacheableRows {
+		// Re-read the version: if a concurrent update landed during
+		// evaluation, caching under the old version would pin a result
+		// that mixes both states. Skip caching in that case.
+		if now := s.cfg.Store.Version(); now == version {
+			s.cache.Put(src, version, res)
+		}
+	}
+	return res, nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	triples := -1
+	if s.cfg.Store != nil {
+		triples = s.cfg.Store.Len()
+	}
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"triples\":%d}\n", triples)
+}
+
+// storeStats mirrors strabon.Stats with the JSON field names the
+// endpoint exposes.
+type storeStats struct {
+	Triples         int `json:"triples"`
+	Terms           int `json:"terms"`
+	SpatialLiterals int `json:"spatial_literals"`
+	Predicates      int `json:"predicates"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var st strabon.Stats
+	if s.cfg.Store != nil {
+		st = s.cfg.Store.Stats()
+	}
+	json.NewEncoder(w).Encode(struct {
+		Store storeStats `json:"store"`
+		Cache CacheStats `json:"cache"`
+		Pool  PoolStats  `json:"pool"`
+	}{
+		Store: storeStats{
+			Triples:         st.Triples,
+			Terms:           st.Terms,
+			SpatialLiterals: st.SpatialLiterals,
+			Predicates:      st.Predicates,
+		},
+		Cache: s.cache.Stats(),
+		Pool:  s.pool.Stats(),
+	})
+}
+
+// handleIndex serves a minimal service description so that hitting the
+// root with a browser or curl is self-explanatory.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, `TELEIOS stSPARQL endpoint
+
+  GET  /sparql?query=...   evaluate a query (Accept: application/sparql-results+json,
+                           text/csv, text/tab-separated-values, application/geo+json;
+                           or ?format=json|csv|tsv|geojson)
+  POST /sparql             query= or update= form field, or a raw
+                           application/sparql-query body
+  GET  /health             liveness and triple count
+  GET  /stats              store / cache / worker-pool counters
+`)
+}

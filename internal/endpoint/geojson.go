@@ -1,0 +1,78 @@
+package endpoint
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// geoJSONGeometry converts a geo.Geometry into the map shape that
+// encoding/json serialises as a GeoJSON (RFC 7946) geometry object.
+// Geometries reaching the endpoint are already WGS84 (the store
+// normalises spatial literals on ingest), matching GeoJSON's mandated
+// CRS.
+func geoJSONGeometry(g geo.Geometry) (map[string]any, error) {
+	switch t := g.(type) {
+	case geo.Point:
+		return gj("Point", pos(t)), nil
+	case geo.MultiPoint:
+		coords := make([][2]float64, len(t.Points))
+		for i, p := range t.Points {
+			coords[i] = pos(p)
+		}
+		return gj("MultiPoint", coords), nil
+	case geo.LineString:
+		return gj("LineString", line(t.Coords)), nil
+	case geo.MultiLineString:
+		coords := make([][][2]float64, len(t.Lines))
+		for i, l := range t.Lines {
+			coords[i] = line(l.Coords)
+		}
+		return gj("MultiLineString", coords), nil
+	case geo.Polygon:
+		return gj("Polygon", polyRings(t)), nil
+	case geo.MultiPolygon:
+		coords := make([][][][2]float64, len(t.Polygons))
+		for i, p := range t.Polygons {
+			coords[i] = polyRings(p)
+		}
+		return gj("MultiPolygon", coords), nil
+	case geo.GeometryCollection:
+		members := make([]map[string]any, 0, len(t.Geometries))
+		for _, m := range t.Geometries {
+			enc, err := geoJSONGeometry(m)
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, enc)
+		}
+		return map[string]any{"type": "GeometryCollection", "geometries": members}, nil
+	default:
+		return nil, fmt.Errorf("endpoint: no GeoJSON encoding for %T", g)
+	}
+}
+
+func gj(typ string, coords any) map[string]any {
+	return map[string]any{"type": typ, "coordinates": coords}
+}
+
+// pos encodes one position as [longitude, latitude], the GeoJSON axis
+// order (which matches the X=lon, Y=lat convention of internal/geo).
+func pos(p geo.Point) [2]float64 { return [2]float64{p.X, p.Y} }
+
+func line(coords []geo.Point) [][2]float64 {
+	out := make([][2]float64, len(coords))
+	for i, p := range coords {
+		out[i] = pos(p)
+	}
+	return out
+}
+
+func polyRings(p geo.Polygon) [][][2]float64 {
+	rings := make([][][2]float64, 0, 1+len(p.Holes))
+	rings = append(rings, line(p.Exterior.Coords))
+	for _, h := range p.Holes {
+		rings = append(rings, line(h.Coords))
+	}
+	return rings
+}

@@ -1,0 +1,158 @@
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool errors.
+var (
+	// ErrOverloaded is returned by Submit when the job queue is full.
+	ErrOverloaded = errors.New("endpoint: worker pool overloaded")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("endpoint: worker pool closed")
+)
+
+// job is one unit of queued work.
+type job struct {
+	fn   func()
+	done chan struct{}
+	// abandoned is set when the submitter stopped waiting (deadline); the
+	// worker then skips the job instead of burning a slot on a result
+	// nobody will read.
+	abandoned atomic.Bool
+}
+
+// Pool is a bounded worker pool: a fixed number of goroutines draining a
+// bounded job queue. It exists so that a burst of HTTP queries degrades
+// into fast 503s instead of unbounded goroutines all contending on the
+// store's lock.
+type Pool struct {
+	jobs    chan *job
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	workers int
+
+	// counters for /stats.
+	submitted atomic.Uint64
+	rejected  atomic.Uint64
+	timedOut  atomic.Uint64
+	panicked  atomic.Uint64
+}
+
+// NewPool starts workers goroutines over a queue of depth queueDepth.
+// Workers and depth are clamped to at least 1 worker and a non-negative
+// queue (depth 0 means a request is rejected unless a worker is free to
+// take it immediately via the unbuffered channel handoff).
+func NewPool(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &Pool{jobs: make(chan *job, queueDepth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.runJob(j)
+	}
+}
+
+// runJob executes one job. done is closed via defer so a panic escaping
+// fn can never wedge the submitter, and the recover backstop keeps a
+// panicking job from killing the worker (and with it the process —
+// pool goroutines are outside net/http's per-handler recovery).
+// Callers that need the panic value should recover inside fn; this
+// backstop only counts what slipped through.
+func (p *Pool) runJob(j *job) {
+	defer close(j.done)
+	if j.abandoned.Load() {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicked.Add(1)
+		}
+	}()
+	j.fn()
+}
+
+// Submit enqueues fn and waits for it to finish or for ctx to expire.
+// A full queue returns ErrOverloaded immediately; an expired context
+// returns ctx.Err() and the job is abandoned (skipped if still queued;
+// left to finish in the background if already running — the stSPARQL
+// evaluator is not preemptible).
+func (p *Pool) Submit(ctx context.Context, fn func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	j := &job{fn: fn, done: make(chan struct{})}
+	select {
+	case p.jobs <- j:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		return ErrOverloaded
+	}
+	p.submitted.Add(1)
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		j.abandoned.Store(true)
+		p.timedOut.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting jobs, lets queued jobs drain, and waits for the
+// workers to exit. It is safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// PoolStats is a snapshot of pool counters.
+type PoolStats struct {
+	Workers   int    `json:"workers"`
+	QueueCap  int    `json:"queue_capacity"`
+	Queued    int    `json:"queued"`
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	TimedOut  uint64 `json:"timed_out"`
+	Panicked  uint64 `json:"panicked"`
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		QueueCap:  cap(p.jobs),
+		Queued:    len(p.jobs),
+		Submitted: p.submitted.Load(),
+		Rejected:  p.rejected.Load(),
+		TimedOut:  p.timedOut.Load(),
+		Panicked:  p.panicked.Load(),
+	}
+}

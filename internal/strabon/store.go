@@ -37,6 +37,9 @@ type Store struct {
 	spatial *rtree.Tree
 	// useSpatialIndex can be disabled for the A1 ablation.
 	useSpatialIndex bool
+	// version counts successful mutations; readers (e.g. the endpoint's
+	// result cache) use it to detect staleness cheaply.
+	version uint64
 }
 
 // NewStore returns an empty store with the spatial index enabled.
@@ -83,6 +86,7 @@ func (st *Store) Add(t rdf.Triple) bool {
 	if _, ok := st.present[key]; ok {
 		return false
 	}
+	st.version++
 	row := len(st.s)
 	st.s = append(st.s, sID)
 	st.p = append(st.p, pID)
@@ -138,6 +142,7 @@ func (st *Store) Remove(t rdf.Triple) bool {
 		return false
 	}
 	delete(st.present, key)
+	st.version++
 	st.s[row], st.p[row], st.o[row] = 0, 0, 0
 	st.byS[sID] = removePos(st.byS[sID], row)
 	st.byP[pID] = removePos(st.byP[pID], row)
@@ -240,6 +245,16 @@ func (st *Store) Cardinality(pat TriplePattern) int {
 		}
 	}
 	return est
+}
+
+// Version reports a counter that increases on every successful mutation
+// (Add, Remove). Two equal Version observations bracket an interval in
+// which the store's logical contents did not change, which is what the
+// stSPARQL endpoint's result cache keys on.
+func (st *Store) Version() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.version
 }
 
 // Geometry returns the cached WGS84 geometry for a spatial literal id.

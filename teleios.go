@@ -15,7 +15,9 @@
 //	obs.Refine()
 //	m, _ := obs.FireMap(30000)
 //
-// See the examples/ directory for complete programs.
+// See the examples/ directory for complete programs, and
+// cmd/teleios-server for the stSPARQL HTTP endpoint (internal/endpoint)
+// that makes the observatory web-accessible.
 package teleios
 
 import (
