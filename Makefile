@@ -1,0 +1,37 @@
+# TELEIOS reproduction — build, test and benchmark entry points.
+
+GO ?= go
+
+# The tier-1 benchmark set: the paper's three figures, two scenarios, the
+# flagship query and the design ablations (see bench_test.go).
+BENCH_TIER1 = BenchmarkFigure3CatalogueSearch|BenchmarkFlagshipQuery|BenchmarkOptimizerOrdering|BenchmarkAblationExecutor|BenchmarkAblationSpatialIndex
+
+.PHONY: all build test race vet bench bench-json clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/endpoint/ ./internal/strabon/ ./internal/stsparql/
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the tier-1 benchmark set with allocation accounting and
+# leaves both the raw output (bench.out) and the JSON artefact.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_TIER1)' -benchmem . | tee bench.out
+
+# bench-json converts the last bench run (or a fresh one) into the
+# machine-readable perf record.
+bench-json: bench
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR2.json
+	@echo wrote BENCH_PR2.json
+
+clean:
+	rm -f bench.out

@@ -336,6 +336,33 @@ func BenchmarkAblationSpatialIndex(b *testing.B) {
 	}
 }
 
+// A4 — ablation: the vectorized id-space executor versus the legacy
+// binding-at-a-time evaluator, on the flagship join and the catalogue
+// search (the two query shapes the PR 2 rewrite targets).
+func BenchmarkAblationExecutor(b *testing.B) {
+	eng := flagshipFixture(b, 500, true)
+	flagship := flagshipQueryText()
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{{"vectorized", false}, {"legacy", true}} {
+		b.Run("flagship/"+mode.name, func(b *testing.B) {
+			eng.DisableVectorized = mode.legacy
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Query(flagship)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Bindings) == 0 {
+					b.Fatal("no results")
+				}
+			}
+		})
+	}
+	eng.DisableVectorized = false
+}
+
 // A2 — ablation: column-at-a-time kernels versus tuple-at-a-time rows.
 func BenchmarkAblationColumnVsRow(b *testing.B) {
 	const n = 1_000_000

@@ -51,15 +51,16 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query evaluation deadline")
 	readonly := flag.Bool("readonly", false, "reject UPDATE statements")
 	save := flag.Bool("save", false, "write the store back to -store on shutdown")
+	legacyEval := flag.Bool("legacy-eval", false, "use the legacy binding-at-a-time evaluator instead of the vectorized id-space executor")
 	flag.Parse()
 
-	if err := run(*addr, *storeDir, *ntFile, *linked, *cacheSize, *maxConc, *queueDepth, *timeout, *readonly, *save); err != nil {
+	if err := run(*addr, *storeDir, *ntFile, *linked, *cacheSize, *maxConc, *queueDepth, *timeout, *readonly, *save, *legacyEval); err != nil {
 		fmt.Fprintln(os.Stderr, "teleios-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir, ntFile string, linked bool, cacheSize, maxConc, queueDepth int, timeout time.Duration, readonly, save bool) error {
+func run(addr, storeDir, ntFile string, linked bool, cacheSize, maxConc, queueDepth int, timeout time.Duration, readonly, save, legacyEval bool) error {
 	if save && storeDir == "" {
 		return errors.New("-save requires -store")
 	}
@@ -101,8 +102,10 @@ func run(addr, storeDir, ntFile string, linked bool, cacheSize, maxConc, queueDe
 		st.AddAll(linkeddata.All())
 	}
 
+	eng := stsparql.New(st)
+	eng.DisableVectorized = legacyEval
 	srv, err := endpoint.NewServer(endpoint.Config{
-		Engine:         stsparql.New(st),
+		Engine:         eng,
 		Store:          st,
 		MaxConcurrency: maxConc,
 		QueueDepth:     queueDepth,

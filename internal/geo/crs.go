@@ -176,6 +176,19 @@ func GeodesicDistanceMeters(a, b Geometry) float64 {
 	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
 		return math.Inf(1)
 	}
+	// Point-vs-simple-geometry is the dominant shape in stSPARQL distance
+	// filters (site point × hotspot polygon, evaluated once per join row);
+	// walk the coordinates directly instead of materialising segment and
+	// vertex slices.
+	if p, ok := a.(Point); ok {
+		if d, handled := geodesicPointFast(p, b); handled {
+			return d
+		}
+	} else if p, ok := b.(Point); ok {
+		if d, handled := geodesicPointFast(p, a); handled {
+			return d
+		}
+	}
 	if Intersects(a, b) {
 		return 0
 	}
@@ -188,6 +201,63 @@ func GeodesicDistanceMeters(a, b Geometry) float64 {
 		}
 	}
 	return Distance(mapCoords(a, proj), mapCoords(b, proj))
+}
+
+// geodesicPointFast computes GeodesicDistanceMeters for a point against a
+// Point, LineString, Polygon or MultiPolygon without allocating: the same
+// envelope check, on-boundary/containment test, local projection and
+// point-segment minimisation as the general path, applied to the
+// coordinate slices in place.
+func geodesicPointFast(p Point, g Geometry) (float64, bool) {
+	switch g.(type) {
+	case Point, LineString, Polygon, MultiPolygon:
+	default:
+		return 0, false
+	}
+	if p.Envelope().Intersects(g.Envelope()) && pointOn(p, g) {
+		return 0, true
+	}
+	center := p.Envelope().Extend(g.Envelope()).Center()
+	k := math.Cos(center.Y * deg2rad)
+	proj := func(q Point) Point {
+		return Point{
+			X: earthRadiusM * deg2rad * k * (q.X - center.X),
+			Y: earthRadiusM * deg2rad * (q.Y - center.Y),
+		}
+	}
+	pp := proj(p)
+	min := math.Inf(1)
+	seg := func(cs []Point) {
+		for i := 1; i < len(cs); i++ {
+			if d := pointSegmentDistance(pp, proj(cs[i-1]), proj(cs[i])); d < min {
+				min = d
+			}
+		}
+		if len(cs) == 1 { // degenerate ring/line: vertex distance
+			if d := dist(pp, proj(cs[0])); d < min {
+				min = d
+			}
+		}
+	}
+	switch t := g.(type) {
+	case Point:
+		return dist(pp, proj(t)), true
+	case LineString:
+		seg(t.Coords)
+	case Polygon:
+		seg(t.Exterior.Coords)
+		for _, h := range t.Holes {
+			seg(h.Coords)
+		}
+	case MultiPolygon:
+		for _, pg := range t.Polygons {
+			seg(pg.Exterior.Coords)
+			for _, h := range pg.Holes {
+				seg(h.Coords)
+			}
+		}
+	}
+	return min, true
 }
 
 // BufferMeters buffers a WGS84 geometry by a distance expressed in metres,

@@ -132,6 +132,78 @@ func pointPolygonLocation(p Point, pg Polygon) int {
 	return 1
 }
 
+// isEnvelopeRect reports whether a polygon's region equals its envelope: a
+// closed 4-edge ring, every edge axis-parallel, every vertex on the
+// envelope boundary. For such (possibly degenerate) rectangles, region
+// intersection coincides with envelope intersection.
+func isEnvelopeRect(p Polygon) bool {
+	if len(p.Holes) != 0 || len(p.Exterior.Coords) != 5 {
+		return false
+	}
+	cs := p.Exterior.Coords
+	if !cs[0].Equal(cs[4]) {
+		return false
+	}
+	env := p.Exterior.Envelope()
+	for i := 0; i < 4; i++ {
+		c := cs[i]
+		if !eqCoord(c.X, env.MinX) && !eqCoord(c.X, env.MaxX) {
+			return false
+		}
+		if !eqCoord(c.Y, env.MinY) && !eqCoord(c.Y, env.MaxY) {
+			return false
+		}
+		if !eqCoord(cs[i].X, cs[i+1].X) && !eqCoord(cs[i].Y, cs[i+1].Y) {
+			return false
+		}
+	}
+	return true
+}
+
+// polygonRing indexes a polygon's rings: 0 is the exterior, 1.. the holes.
+func polygonRing(p Polygon, i int) Ring {
+	if i == 0 {
+		return p.Exterior
+	}
+	return p.Holes[i-1]
+}
+
+// polygonPairIntersects is Intersects specialised to two polygons whose
+// envelopes overlap: any boundary segments cross, or a vertex of one lies
+// inside (or on) the other. Allocation-free; the answer is identical to
+// the generic path.
+func polygonPairIntersects(a, b Polygon) bool {
+	na, nb := 1+len(a.Holes), 1+len(b.Holes)
+	for i := 0; i < na; i++ {
+		ra := polygonRing(a, i).Coords
+		for j := 0; j < nb; j++ {
+			rb := polygonRing(b, j).Coords
+			for s := 1; s < len(ra); s++ {
+				for t := 1; t < len(rb); t++ {
+					if segmentsIntersect(ra[s-1], ra[s], rb[t-1], rb[t]) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	for j := 0; j < nb; j++ {
+		for _, v := range polygonRing(b, j).Coords {
+			if pointPolygonLocation(v, a) >= 0 {
+				return true
+			}
+		}
+	}
+	for i := 0; i < na; i++ {
+		for _, v := range polygonRing(a, i).Coords {
+			if pointPolygonLocation(v, b) >= 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // segments yields the boundary segments of a geometry.
 func segments(g Geometry) [][2]Point {
 	var out [][2]Point
@@ -251,6 +323,21 @@ func Intersects(a, b Geometry) bool {
 	}
 	if !a.Envelope().Intersects(b.Envelope()) {
 		return false
+	}
+	// Polygon vs polygon is the hot shape in pushed-down spatial filters
+	// (coverage × query window, once per candidate row); walk the rings in
+	// place instead of materialising segment and vertex slices.
+	if pa, ok := a.(Polygon); ok {
+		if pb, ok := b.(Polygon); ok {
+			// Two polygons that each coincide with their own envelope
+			// (axis-aligned rectangles — every catalogue footprint and
+			// query window) intersect iff their envelopes do, which was
+			// just established.
+			if isEnvelopeRect(pa) && isEnvelopeRect(pb) {
+				return true
+			}
+			return polygonPairIntersects(pa, pb)
+		}
 	}
 	// Point vs anything.
 	for _, p := range points(a) {

@@ -68,6 +68,25 @@ func (d *Dictionary) Decode(id uint64) (Term, bool) {
 	return d.byID[id-1], true
 }
 
+// DecodeAll decodes ids[i] into out[i] under a single lock acquisition —
+// the batch counterpart of Decode for vectorized readers. Unknown ids
+// (including 0) decode to the zero Term. out must have len(ids) capacity;
+// the filled prefix is returned.
+func (d *Dictionary) DecodeAll(ids []uint64, out []Term) []Term {
+	out = out[:len(ids)]
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := uint64(len(d.byID))
+	for i, id := range ids {
+		if id == 0 || id > n {
+			out[i] = Term{}
+			continue
+		}
+		out[i] = d.byID[id-1]
+	}
+	return out
+}
+
 // IsSpatialID reports whether id encodes a spatial literal.
 func (d *Dictionary) IsSpatialID(id uint64) bool {
 	d.mu.RLock()

@@ -1,0 +1,235 @@
+package strabon
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/rdf"
+	"repro/internal/rtree"
+	"repro/internal/strdf"
+)
+
+// Snapshot is an immutable read view of the store: the three dictionary
+// columns compacted (no tombstones), component posting lists, the geometry
+// cache and R-tree. All of it is private to the snapshot, so readers never
+// take a lock per row — the vectorized stSPARQL executor evaluates whole
+// queries against one Snapshot. Snapshots are cached per store version:
+// building one is O(n), but a store that is not being mutated hands out the
+// same snapshot to every query.
+type Snapshot struct {
+	version uint64
+	dict    *rdf.Dictionary
+	// S, P, O are the compacted columns: row i holds live triple i.
+	S, P, O []uint64
+	byS     map[uint64][]int32
+	byP     map[uint64][]int32
+	byO     map[uint64][]int32
+	geoms   map[uint64]strdf.SpatialValue
+	spatial *rtree.Tree
+	useIdx  bool
+}
+
+// Snapshot returns the current read view, building and caching it when the
+// store has been mutated since the last one. The cached snapshot is shared
+// by concurrent readers; writers invalidate it implicitly by bumping the
+// store version.
+func (st *Store) Snapshot() *Snapshot {
+	for attempt := 0; attempt < 2; attempt++ {
+		st.mu.RLock()
+		if sn := st.snap; sn != nil && sn.version == st.version {
+			st.mu.RUnlock()
+			return sn
+		}
+		// Build under the read lock: the view is consistent (writers are
+		// excluded) yet other readers — including concurrent cold-start
+		// builds — proceed in parallel, so a snapshot rebuild never
+		// serializes the endpoint's query worker pool.
+		sn := st.buildSnapshotLocked()
+		st.mu.RUnlock()
+		st.mu.Lock()
+		if st.version == sn.version {
+			st.snap = sn
+			st.mu.Unlock()
+			return sn
+		}
+		// A writer committed while building; the view is consistent but
+		// stale, and returning it would break read-your-writes. Rebuild.
+		st.mu.Unlock()
+	}
+	// Sustained writes kept invalidating optimistic builds; build under
+	// the write lock, which is guaranteed to install.
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if sn := st.snap; sn != nil && sn.version == st.version {
+		return sn
+	}
+	st.snap = st.buildSnapshotLocked()
+	return st.snap
+}
+
+func (st *Store) buildSnapshotLocked() *Snapshot {
+	n := len(st.s) - st.deleted
+	sn := &Snapshot{
+		version: st.version,
+		dict:    st.dict,
+		S:       make([]uint64, 0, n),
+		P:       make([]uint64, 0, n),
+		O:       make([]uint64, 0, n),
+		byS:     make(map[uint64][]int32),
+		byP:     make(map[uint64][]int32),
+		byO:     make(map[uint64][]int32),
+		geoms:   make(map[uint64]strdf.SpatialValue, len(st.geoms)),
+		useIdx:  st.useSpatialIndex,
+	}
+	for row := range st.s {
+		if st.s[row] == 0 {
+			continue
+		}
+		r := int32(len(sn.S))
+		sn.S = append(sn.S, st.s[row])
+		sn.P = append(sn.P, st.p[row])
+		sn.O = append(sn.O, st.o[row])
+		sn.byS[st.s[row]] = append(sn.byS[st.s[row]], r)
+		sn.byP[st.p[row]] = append(sn.byP[st.p[row]], r)
+		sn.byO[st.o[row]] = append(sn.byO[st.o[row]], r)
+	}
+	items := make([]rtree.Item, 0, len(st.geoms))
+	for id, v := range st.geoms {
+		sn.geoms[id] = v
+		items = append(items, rtree.Item{Box: v.Geom.Envelope(), ID: id})
+	}
+	// Deterministic build input (map iteration order varies).
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+	sn.spatial = rtree.BulkLoad(items, 0)
+	return sn
+}
+
+// NRows reports the number of live triples in the snapshot.
+func (sn *Snapshot) NRows() int { return len(sn.S) }
+
+// Dict exposes the term dictionary backing the snapshot's ids.
+func (sn *Snapshot) Dict() *rdf.Dictionary { return sn.dict }
+
+// Version reports the store version this snapshot was built at.
+func (sn *Snapshot) Version() uint64 { return sn.version }
+
+// Row returns the (s, p, o) ids of a snapshot row without locking.
+func (sn *Snapshot) Row(row int32) (uint64, uint64, uint64) {
+	return sn.S[row], sn.P[row], sn.O[row]
+}
+
+// LookupID returns the dictionary id for a term (cardSource interface).
+func (sn *Snapshot) LookupID(t rdf.Term) (uint64, error) {
+	id, ok := sn.dict.Lookup(t)
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return id, nil
+}
+
+// MatchRows returns the snapshot rows matching the pattern. When exactly
+// one component is bound the posting list itself is returned — callers
+// must treat the result as read-only. Otherwise matches are written into
+// *buf (the caller's reusable scratch, grown as needed) and its filled
+// prefix is returned. buf may be nil for a one-shot allocation.
+func (sn *Snapshot) MatchRows(pat TriplePattern, buf *[]int32) []int32 {
+	var scratch []int32
+	if buf == nil {
+		buf = &scratch
+	}
+	var candidate []int32
+	candSet := false
+	bound := 0
+	consider := func(idx map[uint64][]int32, id uint64) {
+		if id == 0 {
+			return
+		}
+		bound++
+		rows := idx[id]
+		if !candSet || len(rows) < len(candidate) {
+			candidate = rows
+			candSet = true
+		}
+	}
+	consider(sn.byS, pat.S)
+	consider(sn.byP, pat.P)
+	consider(sn.byO, pat.O)
+	if !candSet {
+		// Full scan: every live row matches.
+		out := (*buf)[:0]
+		for row := range sn.S {
+			out = append(out, int32(row))
+		}
+		*buf = out
+		return out
+	}
+	if bound == 1 {
+		return candidate // shared posting list: read-only
+	}
+	out := (*buf)[:0]
+	for _, row := range candidate {
+		if pat.S != 0 && sn.S[row] != pat.S {
+			continue
+		}
+		if pat.P != 0 && sn.P[row] != pat.P {
+			continue
+		}
+		if pat.O != 0 && sn.O[row] != pat.O {
+			continue
+		}
+		out = append(out, row)
+	}
+	*buf = out
+	return out
+}
+
+// Cardinality estimates the number of matches for a pattern without
+// materialising them (cardSource interface).
+func (sn *Snapshot) Cardinality(pat TriplePattern) int {
+	est := len(sn.S)
+	if pat.S != 0 {
+		if n := len(sn.byS[pat.S]); n < est {
+			est = n
+		}
+	}
+	if pat.P != 0 {
+		if n := len(sn.byP[pat.P]); n < est {
+			est = n
+		}
+	}
+	if pat.O != 0 {
+		if n := len(sn.byO[pat.O]); n < est {
+			est = n
+		}
+	}
+	return est
+}
+
+// Geometry returns the cached WGS84 geometry for a spatial literal id.
+func (sn *Snapshot) Geometry(id uint64) (strdf.SpatialValue, bool) {
+	v, ok := sn.geoms[id]
+	return v, ok
+}
+
+// SpatialCandidates returns ids of spatial literals whose envelope
+// intersects box, honouring the store's spatial-index ablation setting at
+// snapshot time.
+func (sn *Snapshot) SpatialCandidates(box geo.Envelope) []uint64 {
+	if sn.useIdx {
+		return sn.spatial.Search(box, nil)
+	}
+	var out []uint64
+	for id, v := range sn.geoms {
+		if v.Geom.Envelope().Intersects(box) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// DecodeAll decodes a batch of ids under one dictionary lock, writing into
+// out (which must have len(ids) capacity); unknown ids decode to the zero
+// Term. It returns out.
+func (sn *Snapshot) DecodeAll(ids []uint64, out []rdf.Term) []rdf.Term {
+	return sn.dict.DecodeAll(ids, out)
+}

@@ -1,0 +1,192 @@
+package strabon
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rdf"
+)
+
+func snapFixture() *Store {
+	st := NewStore()
+	for i := 0; i < 10; i++ {
+		st.Add(rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://ex/s%d", i)),
+			rdf.IRI(rdf.RDFType),
+			rdf.IRI("http://ex/Thing")))
+		st.Add(rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://ex/s%d", i)),
+			rdf.IRI("http://ex/val"),
+			rdf.IntegerLiteral(int64(i))))
+	}
+	return st
+}
+
+func TestSnapshotCachedUntilMutation(t *testing.T) {
+	st := snapFixture()
+	s1 := st.Snapshot()
+	s2 := st.Snapshot()
+	if s1 != s2 {
+		t.Fatal("snapshot not cached across reads of an unchanged store")
+	}
+	st.Add(rdf.NewTriple(rdf.IRI("http://ex/new"), rdf.IRI(rdf.RDFType), rdf.IRI("http://ex/Thing")))
+	s3 := st.Snapshot()
+	if s3 == s1 {
+		t.Fatal("snapshot not invalidated by a mutation")
+	}
+	if s3.NRows() != s1.NRows()+1 {
+		t.Fatalf("rows: %d vs %d", s3.NRows(), s1.NRows())
+	}
+}
+
+func TestSnapshotImmutableAfterRemove(t *testing.T) {
+	st := snapFixture()
+	sn := st.Snapshot()
+	before := sn.NRows()
+	tr := rdf.NewTriple(rdf.IRI("http://ex/s3"), rdf.IRI(rdf.RDFType), rdf.IRI("http://ex/Thing"))
+	if !st.Remove(tr) {
+		t.Fatal("remove failed")
+	}
+	st.Compact()
+	if sn.NRows() != before {
+		t.Fatal("snapshot mutated by Remove/Compact")
+	}
+	// The old snapshot still matches the removed triple.
+	typeID, _ := sn.Dict().Lookup(rdf.IRI(rdf.RDFType))
+	sID, _ := sn.Dict().Lookup(rdf.IRI("http://ex/s3"))
+	rows := sn.MatchRows(TriplePattern{S: sID, P: typeID}, nil)
+	if len(rows) != 1 {
+		t.Fatalf("old snapshot lost the removed triple: %d rows", len(rows))
+	}
+	// A fresh snapshot does not.
+	rows = st.Snapshot().MatchRows(TriplePattern{S: sID, P: typeID}, nil)
+	if len(rows) != 0 {
+		t.Fatalf("new snapshot still matches the removed triple: %d rows", len(rows))
+	}
+}
+
+func TestSnapshotMatchRowsAgainstMatchIDs(t *testing.T) {
+	st := snapFixture()
+	sn := st.Snapshot()
+	thingID, _ := sn.Dict().Lookup(rdf.IRI("http://ex/Thing"))
+	typeID, _ := sn.Dict().Lookup(rdf.IRI(rdf.RDFType))
+	pats := []TriplePattern{
+		{},                          // full scan
+		{P: typeID},                 // single component
+		{P: typeID, O: thingID},     // two components
+		{S: 1, P: typeID, O: 99999}, // no match
+	}
+	var buf []int32
+	for _, pat := range pats {
+		want := st.MatchIDs(pat)
+		got := sn.MatchRows(pat, &buf)
+		if len(got) != len(want) {
+			t.Fatalf("pattern %+v: snapshot %d rows, store %d rows", pat, len(got), len(want))
+		}
+		for i := range got {
+			gs, gp, go_ := sn.Row(got[i])
+			ws, wp, wo := st.Row(want[i])
+			if gs != ws || gp != wp || go_ != wo {
+				t.Fatalf("pattern %+v row %d: snapshot (%d,%d,%d) store (%d,%d,%d)",
+					pat, i, gs, gp, go_, ws, wp, wo)
+			}
+		}
+	}
+}
+
+func TestSnapshotDecodeAll(t *testing.T) {
+	st := snapFixture()
+	sn := st.Snapshot()
+	ids := []uint64{0, 1, 2, 1 << 62}
+	out := make([]rdf.Term, len(ids))
+	sn.DecodeAll(ids, out)
+	if !out[0].IsZero() || !out[3].IsZero() {
+		t.Fatal("unknown ids must decode to zero terms")
+	}
+	want, _ := sn.Dict().Decode(1)
+	if out[1] != want {
+		t.Fatalf("DecodeAll[1] = %v, want %v", out[1], want)
+	}
+}
+
+// TestCompactPrunesStaleGeometries is the regression test for stale
+// spatial entries: geometries of fully-deleted object ids must leave both
+// the geometry cache and the R-tree during Compact.
+func TestCompactPrunesStaleGeometries(t *testing.T) {
+	st := NewStore()
+	wkt := `POINT (23.5 37.5)`
+	geomTerm := rdf.TypedLiteral(wkt, "http://strdf.di.uoa.gr/ontology#WKT")
+	tr := rdf.NewTriple(rdf.IRI("http://ex/s"), rdf.IRI("http://ex/geom"), geomTerm)
+	st.Add(tr)
+	keep := rdf.NewTriple(rdf.IRI("http://ex/k"), rdf.IRI("http://ex/geom"),
+		rdf.TypedLiteral("POINT (24.5 38.5)", "http://strdf.di.uoa.gr/ontology#WKT"))
+	st.Add(keep)
+	box := geo.Envelope{MinX: 23, MinY: 37, MaxX: 24, MaxY: 38}
+	if got := st.SpatialCandidates(box); len(got) != 1 {
+		t.Fatalf("pre-delete candidates = %d", len(got))
+	}
+	if !st.Remove(tr) {
+		t.Fatal("remove failed")
+	}
+	// Before Compact the stale geometry may linger; Compact must purge it.
+	st.Compact()
+	if got := st.SpatialCandidates(box); len(got) != 0 {
+		t.Fatalf("stale spatial candidates after Compact: %v", got)
+	}
+	if st.Stats().SpatialLiterals != 1 {
+		t.Fatalf("spatial literals = %d, want 1 (the kept geometry)", st.Stats().SpatialLiterals)
+	}
+	// The kept geometry must survive in the rebuilt R-tree.
+	keepBox := geo.Envelope{MinX: 24, MinY: 38, MaxX: 25, MaxY: 39}
+	if got := st.SpatialCandidates(keepBox); len(got) != 1 {
+		t.Fatalf("kept geometry missing after Compact: %v", got)
+	}
+	// And the scan path (spatial index disabled) agrees.
+	st.SetSpatialIndexEnabled(false)
+	if got := st.SpatialCandidates(box); len(got) != 0 {
+		t.Fatalf("scan path still sees stale geometry: %v", got)
+	}
+}
+
+func TestAddAllBatchCount(t *testing.T) {
+	st := NewStore()
+	tr := func(i int) rdf.Triple {
+		return rdf.NewTriple(rdf.IRI(fmt.Sprintf("http://ex/s%d", i)),
+			rdf.IRI("http://ex/p"), rdf.IntegerLiteral(int64(i)))
+	}
+	batch := []rdf.Triple{tr(0), tr(1), tr(2), tr(1)} // one duplicate
+	if n := st.AddAll(batch); n != 3 {
+		t.Fatalf("AddAll = %d, want 3", n)
+	}
+	if n := st.AddAll(batch); n != 0 {
+		t.Fatalf("second AddAll = %d, want 0", n)
+	}
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+}
+
+func TestRemoveSortedPostingLists(t *testing.T) {
+	st := NewStore()
+	subj := rdf.IRI("http://ex/s")
+	var triples []rdf.Triple
+	for i := 0; i < 100; i++ {
+		triples = append(triples, rdf.NewTriple(subj, rdf.IRI("http://ex/p"), rdf.IntegerLiteral(int64(i))))
+	}
+	st.AddAll(triples)
+	// Remove from the middle, the front, and the back; matches must stay
+	// exact (binary-searched posting lists).
+	for _, i := range []int{50, 0, 99, 25, 75} {
+		if !st.Remove(triples[i]) {
+			t.Fatalf("remove %d failed", i)
+		}
+	}
+	sID, _ := st.LookupID(subj)
+	if got := len(st.MatchIDs(TriplePattern{S: sID})); got != 95 {
+		t.Fatalf("matches after removals = %d, want 95", got)
+	}
+	if st.Len() != 95 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+}

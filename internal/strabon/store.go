@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"repro/internal/column"
@@ -40,6 +41,9 @@ type Store struct {
 	// version counts successful mutations; readers (e.g. the endpoint's
 	// result cache) use it to detect staleness cheaply.
 	version uint64
+	// snap caches the immutable read view handed to the vectorized
+	// executor; it is rebuilt lazily when version moves past it.
+	snap *Snapshot
 }
 
 // NewStore returns an empty store with the spatial index enabled.
@@ -62,6 +66,11 @@ func (st *Store) SetSpatialIndexEnabled(on bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.useSpatialIndex = on
+	// Snapshots capture the setting: drop the cached one and move the
+	// version so an in-flight snapshot build cannot reinstall a view with
+	// the old setting.
+	st.snap = nil
+	st.version++
 }
 
 // Dict exposes the term dictionary.
@@ -77,11 +86,18 @@ func (st *Store) Len() int {
 // Add inserts a triple; duplicates are ignored. It reports whether the
 // triple was new.
 func (st *Store) Add(t rdf.Triple) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.addLocked(t)
+}
+
+// addLocked is Add's body; callers hold the write lock. Batch ingest
+// (AddAll, LoadNTriples) takes the lock once per batch instead of once per
+// triple.
+func (st *Store) addLocked(t rdf.Triple) bool {
 	sID := st.dict.Encode(t.S)
 	pID := st.dict.Encode(t.P)
 	oID := st.dict.Encode(t.O)
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	key := [3]uint64{sID, pID, oID}
 	if _, ok := st.present[key]; ok {
 		return false
@@ -109,11 +125,14 @@ func (st *Store) Add(t rdf.Triple) bool {
 	return true
 }
 
-// AddAll inserts a batch of triples and reports how many were new.
+// AddAll inserts a batch of triples under one write lock and reports how
+// many were new.
 func (st *Store) AddAll(triples []rdf.Triple) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	n := 0
 	for _, t := range triples {
-		if st.Add(t) {
+		if st.addLocked(t) {
 			n++
 		}
 	}
@@ -151,13 +170,15 @@ func (st *Store) Remove(t rdf.Triple) bool {
 	return true
 }
 
+// removePos deletes row from a posting list. Posting lists are always
+// sorted ascending (rows are appended in insertion order and Compact
+// renumbers ascending), so the position is found by binary search.
 func removePos(rows []int, row int) []int {
-	for i, r := range rows {
-		if r == row {
-			return append(rows[:i], rows[i+1:]...)
-		}
+	i := sort.SearchInts(rows, row)
+	if i >= len(rows) || rows[i] != row {
+		return rows
 	}
-	return rows
+	return append(rows[:i], rows[i+1:]...)
 }
 
 // TriplePattern matches triples; zero IDs are wildcards.
@@ -248,7 +269,7 @@ func (st *Store) Cardinality(pat TriplePattern) int {
 }
 
 // Version reports a counter that increases on every successful mutation
-// (Add, Remove). Two equal Version observations bracket an interval in
+// (Add, Remove, Compact, index toggles). Two equal Version observations bracket an interval in
 // which the store's logical contents did not change, which is what the
 // stSPARQL endpoint's result cache keys on.
 func (st *Store) Version() uint64 {
@@ -364,6 +385,12 @@ func (st *Store) Compact() int {
 	if st.deleted == 0 {
 		return 0
 	}
+	// Row numbering and the spatial side change; cached snapshots must not
+	// outlive them, and in-flight snapshot builds must not reinstall a
+	// pre-compaction view. (A no-op compaction above changes nothing, so
+	// it leaves the cache and version alone.)
+	st.snap = nil
+	st.version++
 	reclaimed := st.deleted
 	n := len(st.s) - st.deleted
 	s := make([]uint64, 0, n)
@@ -390,7 +417,30 @@ func (st *Store) Compact() int {
 	st.byS, st.byP, st.byO = byS, byP, byO
 	st.present = present
 	st.deleted = 0
+	st.pruneSpatialLocked()
 	return reclaimed
+}
+
+// pruneSpatialLocked drops geometries whose literal id no longer appears in
+// any live triple's object position and rebuilds the R-tree over the
+// survivors. Remove tombstones rows but leaves geoms/R-tree entries behind;
+// Compact is where they are reclaimed.
+func (st *Store) pruneSpatialLocked() {
+	stale := false
+	for id := range st.geoms {
+		if len(st.byO[id]) == 0 {
+			delete(st.geoms, id)
+			stale = true
+		}
+	}
+	if !stale {
+		return
+	}
+	items := make([]rtree.Item, 0, len(st.geoms))
+	for id, v := range st.geoms {
+		items = append(items, rtree.Item{Box: v.Geom.Envelope(), ID: id})
+	}
+	st.spatial = rtree.BulkLoad(items, 0)
 }
 
 // Persistence ----------------------------------------------------------------

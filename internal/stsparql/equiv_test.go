@@ -1,0 +1,277 @@
+package stsparql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+)
+
+// The old-vs-new equivalence suite: random BGP + FILTER + OPTIONAL +
+// UNION + BIND queries over a seeded store must return identical sorted
+// bindings from the legacy binding-at-a-time evaluator and the vectorized
+// id-space executor, in every ablation mode.
+
+const equivNS = "http://ex/"
+
+func equivStore(rng *rand.Rand) *strabon.Store {
+	st := strabon.NewStore()
+	var triples []rdf.Triple
+	subjects := make([]rdf.Term, 20)
+	for i := range subjects {
+		subjects[i] = rdf.IRI(fmt.Sprintf("%ss%d", equivNS, i))
+	}
+	classes := []rdf.Term{
+		rdf.IRI(equivNS + "Hotspot"),
+		rdf.IRI(equivNS + "Town"),
+		rdf.IRI(equivNS + "Forest"),
+	}
+	preds := make([]rdf.Term, 4)
+	for i := range preds {
+		preds[i] = rdf.IRI(fmt.Sprintf("%sp%d", equivNS, i))
+	}
+	for i, s := range subjects {
+		triples = append(triples, rdf.NewTriple(s, rdf.IRI(rdf.RDFType), classes[i%len(classes)]))
+		// Numeric property on most subjects.
+		if rng.Intn(4) != 0 {
+			triples = append(triples, rdf.NewTriple(s, preds[0], rdf.IntegerLiteral(int64(rng.Intn(10)))))
+		}
+		// String property.
+		if rng.Intn(3) != 0 {
+			triples = append(triples, rdf.NewTriple(s, preds[1], rdf.Literal(fmt.Sprintf("name-%d", rng.Intn(6)))))
+		}
+		// Geometry: points scattered over a small window.
+		if rng.Intn(3) != 0 {
+			x := 23.0 + rng.Float64()*2
+			y := 37.0 + rng.Float64()*2
+			wkt := fmt.Sprintf("POINT (%.4f %.4f)", x, y)
+			triples = append(triples, rdf.NewTriple(s, rdf.IRI(equivNS+"geom"),
+				rdf.TypedLiteral(wkt, "http://strdf.di.uoa.gr/ontology#WKT")))
+		}
+		// Cross-links between subjects.
+		for k := 0; k < rng.Intn(3); k++ {
+			triples = append(triples, rdf.NewTriple(s, preds[2], subjects[rng.Intn(len(subjects))]))
+		}
+		// Second numeric property, sparse.
+		if rng.Intn(5) == 0 {
+			triples = append(triples, rdf.NewTriple(s, preds[3], rdf.DoubleLiteral(rng.Float64()*100)))
+		}
+	}
+	st.AddAll(triples)
+	return st
+}
+
+// randPatTerm yields a pattern position: a variable or a constant.
+func randPatTerm(rng *rand.Rand, vars []string, consts []string) string {
+	if rng.Intn(2) == 0 {
+		return "?" + vars[rng.Intn(len(vars))]
+	}
+	return consts[rng.Intn(len(consts))]
+}
+
+func randQuery(rng *rand.Rand) string {
+	vars := []string{"a", "b", "c", "d"}
+	subjConsts := []string{"<http://ex/s1>", "<http://ex/s5>", "<http://ex/s12>"}
+	predConsts := []string{"a", "<http://ex/p0>", "<http://ex/p1>", "<http://ex/p2>", "<http://ex/geom>"}
+	objConsts := []string{
+		"<http://ex/Hotspot>", "<http://ex/Town>", "<http://ex/s3>",
+		`"name-2"`, "4",
+	}
+	pattern := func() string {
+		s := randPatTerm(rng, vars, subjConsts)
+		p := predConsts[rng.Intn(len(predConsts))]
+		if rng.Intn(5) == 0 {
+			p = "?" + vars[rng.Intn(len(vars))]
+		}
+		o := randPatTerm(rng, vars, objConsts)
+		return fmt.Sprintf("%s %s %s .", s, p, o)
+	}
+	var body []string
+	nPats := 1 + rng.Intn(3)
+	for i := 0; i < nPats; i++ {
+		body = append(body, pattern())
+	}
+	// FILTER variants.
+	switch rng.Intn(5) {
+	case 0:
+		body = append(body, fmt.Sprintf("FILTER(?%s > %d)", vars[rng.Intn(2)], rng.Intn(8)))
+	case 1:
+		body = append(body, fmt.Sprintf("FILTER(REGEX(?%s, \"name\"))", vars[rng.Intn(2)]))
+	case 2:
+		body = append(body, fmt.Sprintf(
+			`FILTER(strdf:intersects(?%s, "POLYGON ((23 37, 24.5 37, 24.5 38.5, 23 38.5, 23 37))"^^strdf:WKT))`,
+			vars[rng.Intn(2)]))
+	case 3:
+		body = append(body, fmt.Sprintf(
+			`FILTER(strdf:distance(?%s, "POINT (23.5 37.5)"^^strdf:WKT) < %d)`,
+			vars[rng.Intn(2)], 20000+rng.Intn(100000)))
+	}
+	// BIND sometimes.
+	if rng.Intn(4) == 0 {
+		body = append(body, fmt.Sprintf("BIND(?%s + 1 AS ?%s)", vars[rng.Intn(2)], vars[3]))
+	}
+	// OPTIONAL sometimes.
+	if rng.Intn(3) == 0 {
+		body = append(body, fmt.Sprintf("OPTIONAL { %s }", pattern()))
+	}
+	// UNION sometimes.
+	if rng.Intn(3) == 0 {
+		body = append(body, fmt.Sprintf("{ %s } UNION { %s }", pattern(), pattern()))
+	}
+	sel := "*"
+	if rng.Intn(2) == 0 {
+		n := 1 + rng.Intn(3)
+		var ps []string
+		for i := 0; i < n; i++ {
+			ps = append(ps, "?"+vars[i])
+		}
+		sel = strings.Join(ps, " ")
+	}
+	distinct := ""
+	if rng.Intn(3) == 0 {
+		distinct = "DISTINCT "
+	}
+	suffix := ""
+	if rng.Intn(3) == 0 {
+		suffix = fmt.Sprintf(" ORDER BY ?%s", vars[rng.Intn(2)])
+		if rng.Intn(2) == 0 {
+			suffix += fmt.Sprintf(" LIMIT %d", 1+rng.Intn(10))
+		}
+	}
+	return fmt.Sprintf(`PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		SELECT %s%s WHERE { %s }%s`, distinct, sel, strings.Join(body, "\n"), suffix)
+}
+
+// canonBindings renders bindings as sorted canonical lines.
+func canonBindings(res *Result) []string {
+	out := make([]string, 0, len(res.Bindings))
+	for _, b := range res.Bindings {
+		var keys []string
+		for k := range b {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k)
+			sb.WriteString("=")
+			sb.WriteString(b[k].String())
+			sb.WriteString("|")
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestExecutorEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	st := equivStore(rng)
+	modes := []struct {
+		name       string
+		optimizer  bool
+		pushdown   bool
+		spatialIdx bool
+	}{
+		{"default", true, true, true},
+		{"no-optimizer", false, true, true},
+		{"no-pushdown", true, false, true}, // A1 ablation: pushdown off
+		{"no-rtree", true, true, false},    // A1 ablation: index scan
+	}
+	const nQueries = 400
+	for qi := 0; qi < nQueries; qi++ {
+		query := randQuery(rng)
+		for _, m := range modes {
+			st.SetSpatialIndexEnabled(m.spatialIdx)
+			legacy := New(st)
+			legacy.DisableVectorized = true
+			legacy.DisableOptimizer = !m.optimizer
+			legacy.DisableSpatialPushdown = !m.pushdown
+			vec := New(st)
+			vec.DisableOptimizer = !m.optimizer
+			vec.DisableSpatialPushdown = !m.pushdown
+
+			lres, lerr := legacy.Query(query)
+			vres, verr := vec.Query(query)
+			if (lerr == nil) != (verr == nil) {
+				t.Fatalf("mode %s query #%d error mismatch:\nlegacy=%v\nvec=%v\nquery:\n%s",
+					m.name, qi, lerr, verr, query)
+			}
+			if lerr != nil {
+				continue
+			}
+			lc, vc := canonBindings(lres), canonBindings(vres)
+			if len(lc) != len(vc) {
+				t.Fatalf("mode %s query #%d row count: legacy=%d vec=%d\nquery:\n%s",
+					m.name, qi, len(lc), len(vc), query)
+			}
+			for i := range lc {
+				if lc[i] != vc[i] {
+					t.Fatalf("mode %s query #%d row %d differs:\nlegacy: %s\nvec:    %s\nquery:\n%s",
+						m.name, qi, i, lc[i], vc[i], query)
+				}
+			}
+		}
+	}
+	st.SetSpatialIndexEnabled(true)
+}
+
+// TestExecutorEquivalenceAggregates covers GROUP BY / aggregate queries,
+// which take the decode-then-aggregate path.
+func TestExecutorEquivalenceAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	st := equivStore(rng)
+	queries := []string{
+		`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`,
+		`SELECT ?t (COUNT(*) AS ?n) WHERE { ?s a ?t } GROUP BY ?t ORDER BY ?t`,
+		`SELECT ?t (AVG(?v) AS ?m) (MAX(?v) AS ?hi) WHERE { ?s a ?t . ?s <http://ex/p0> ?v } GROUP BY ?t ORDER BY ?t`,
+		`ASK { ?s a <http://ex/Town> }`,
+		`ASK { ?s a <http://ex/Nothing> }`,
+	}
+	for _, query := range queries {
+		legacy := New(st)
+		legacy.DisableVectorized = true
+		vec := New(st)
+		lres := legacy.MustQuery(query)
+		vres := vec.MustQuery(query)
+		if lres.Bool != vres.Bool {
+			t.Fatalf("ASK mismatch for %s: legacy=%v vec=%v", query, lres.Bool, vres.Bool)
+		}
+		lc, vc := canonBindings(lres), canonBindings(vres)
+		if strings.Join(lc, "\n") != strings.Join(vc, "\n") {
+			t.Fatalf("aggregate mismatch for %s:\nlegacy=%v\nvec=%v", query, lc, vc)
+		}
+	}
+}
+
+// TestExecutorEquivalenceUpdates runs a DELETE/INSERT WHERE through both
+// executors on separate but identical stores.
+func TestExecutorEquivalenceUpdates(t *testing.T) {
+	mkStore := func() *strabon.Store {
+		return equivStore(rand.New(rand.NewSource(7)))
+	}
+	update := `PREFIX ex: <http://ex/>
+		DELETE { ?s a ex:Town } INSERT { ?s a ex:City } WHERE { ?s a ex:Town }`
+	check := `SELECT ?s WHERE { ?s a <http://ex/City> } ORDER BY ?s`
+
+	legacySt := mkStore()
+	legacy := New(legacySt)
+	legacy.DisableVectorized = true
+	vecSt := mkStore()
+	vec := New(vecSt)
+
+	lu := legacy.MustQuery(update)
+	vu := vec.MustQuery(update)
+	if lu.Affected != vu.Affected {
+		t.Fatalf("affected mismatch: legacy=%d vec=%d", lu.Affected, vu.Affected)
+	}
+	lc := canonBindings(legacy.MustQuery(check))
+	vc := canonBindings(vec.MustQuery(check))
+	if strings.Join(lc, "\n") != strings.Join(vc, "\n") {
+		t.Fatalf("post-update state mismatch:\nlegacy=%v\nvec=%v", lc, vc)
+	}
+}

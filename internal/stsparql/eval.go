@@ -37,10 +37,28 @@ type Engine struct {
 	// DisableSpatialPushdown stops spatial filters from pruning via the
 	// store's R-tree (ablation A1).
 	DisableSpatialPushdown bool
+	// DisableVectorized falls back to the legacy binding-at-a-time
+	// evaluator (one decoded map per solution, one index probe per
+	// binding×pattern pair). The default vectorized executor evaluates in
+	// dictionary-id space over a store snapshot; the flag exists for
+	// ablations and old-vs-new equivalence testing.
+	DisableVectorized bool
 
 	geomMu    sync.Mutex
 	geomCache map[string]strdf.SpatialValue
+
+	// planMu guards planCache, a parsed-statement cache keyed on query
+	// text (the prepared-statement idiom: the endpoint's dashboards replay
+	// identical query strings against a changing store, and the result
+	// cache cannot help once the store version moves). Parsed queries are
+	// read-only during evaluation, so cached ASTs are shared freely.
+	planMu    sync.Mutex
+	planCache map[string]*Query
 }
+
+// planCacheCap bounds the parsed-statement cache; when full it is simply
+// reset (query workloads cycle through a small set of templates).
+const planCacheCap = 512
 
 // New returns an engine over the given store.
 func New(store *strabon.Store) *Engine {
@@ -50,11 +68,24 @@ func New(store *strabon.Store) *Engine {
 // Store exposes the underlying store.
 func (e *Engine) Store() *strabon.Store { return e.store }
 
-// Query parses and evaluates one statement.
+// Query parses and evaluates one statement; parse results are cached per
+// query text.
 func (e *Engine) Query(src string) (*Result, error) {
-	q, err := ParseQuery(src)
-	if err != nil {
-		return nil, err
+	e.planMu.Lock()
+	q, ok := e.planCache[src]
+	e.planMu.Unlock()
+	if !ok {
+		var err error
+		q, err = ParseQuery(src)
+		if err != nil {
+			return nil, err
+		}
+		e.planMu.Lock()
+		if e.planCache == nil || len(e.planCache) >= planCacheCap {
+			e.planCache = make(map[string]*Query)
+		}
+		e.planCache[src] = q
+		e.planMu.Unlock()
 	}
 	return e.Eval(q)
 }
@@ -72,15 +103,26 @@ func (e *Engine) MustQuery(src string) *Result {
 func (e *Engine) Eval(q *Query) (*Result, error) {
 	switch q.Form {
 	case FormSelect:
+		if !e.DisableVectorized {
+			return e.evalSelectVec(q)
+		}
 		return e.evalSelect(q)
 	case FormAsk:
+		if !e.DisableVectorized {
+			v := newVexec(e)
+			tb, err := v.evalGroup(q.Where, v.seed())
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Bool: tb.n() > 0}, nil
+		}
 		bindings, err := e.evalGroup(q.Where, []Binding{{}})
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Bool: len(bindings) > 0}, nil
 	case FormConstruct:
-		bindings, err := e.evalGroup(q.Where, []Binding{{}})
+		bindings, err := e.solve(q.Where)
 		if err != nil {
 			return nil, err
 		}
@@ -112,8 +154,23 @@ func (e *Engine) Eval(q *Query) (*Result, error) {
 	return nil, fmt.Errorf("stsparql: unsupported query form %d", q.Form)
 }
 
+// solve evaluates a graph pattern to decoded bindings through whichever
+// executor is active; non-SELECT forms (CONSTRUCT, DELETE/INSERT WHERE)
+// need materialised terms anyway, so they share this boundary.
+func (e *Engine) solve(g *Group) ([]Binding, error) {
+	if e.DisableVectorized {
+		return e.evalGroup(g, []Binding{{}})
+	}
+	v := newVexec(e)
+	tb, err := v.evalGroup(g, v.seed())
+	if err != nil {
+		return nil, err
+	}
+	return v.decodeTable(tb), nil
+}
+
 func (e *Engine) evalModify(q *Query) (*Result, error) {
-	bindings, err := e.evalGroup(q.Where, []Binding{{}})
+	bindings, err := e.solve(q.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -532,24 +589,38 @@ func cloneBinding(b Binding) Binding {
 	return nb
 }
 
+// cardSource supplies dictionary lookups and cardinality estimates to the
+// greedy pattern orderer; both the live Store and an immutable Snapshot
+// implement it.
+type cardSource interface {
+	LookupID(t rdf.Term) (uint64, error)
+	Cardinality(pat strabon.TriplePattern) int
+}
+
 // orderPatterns greedily orders patterns by estimated result size, treating
 // variables bound by earlier patterns (or the seed) as selective joins.
 func (e *Engine) orderPatterns(patterns []Pattern, seed []Binding, hints map[string]geo.Envelope) []Pattern {
-	if len(patterns) <= 1 {
-		return patterns
-	}
 	bound := map[string]bool{}
 	if len(seed) > 0 {
 		for v := range seed[0] {
 			bound[v] = true
 		}
 	}
+	return orderPatternsWith(e.store, patterns, bound, hints)
+}
+
+// orderPatternsWith is the executor-independent orderer; it mutates bound,
+// so callers pass a fresh map.
+func orderPatternsWith(src cardSource, patterns []Pattern, bound map[string]bool, hints map[string]geo.Envelope) []Pattern {
+	if len(patterns) <= 1 {
+		return patterns
+	}
 	remaining := append([]Pattern(nil), patterns...)
 	var ordered []Pattern
 	for len(remaining) > 0 {
 		bestIdx, bestCost := 0, int(^uint(0)>>1)
 		for i, pat := range remaining {
-			cost := e.estimate(pat, bound)
+			cost := estimateWith(src, pat, bound)
 			// A spatial hint on the object variable prunes the pattern's
 			// matches through the R-tree; run such patterns early.
 			if v := objVar(pat); v != "" {
@@ -564,17 +635,23 @@ func (e *Engine) orderPatterns(patterns []Pattern, seed []Binding, hints map[str
 		chosen := remaining[bestIdx]
 		ordered = append(ordered, chosen)
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
-		for _, v := range chosen.Vars() {
-			bound[v] = true
+		if chosen.S.IsVar() {
+			bound[chosen.S.Var] = true
+		}
+		if chosen.P.IsVar() {
+			bound[chosen.P.Var] = true
+		}
+		if chosen.O.IsVar() {
+			bound[chosen.O.Var] = true
 		}
 	}
 	return ordered
 }
 
-// estimate scores a pattern: the store cardinality of its constant parts,
-// discounted when variables are already bound (a bound join key typically
-// touches few rows).
-func (e *Engine) estimate(pat Pattern, bound map[string]bool) int {
+// estimateWith scores a pattern: the source cardinality of its constant
+// parts, discounted when variables are already bound (a bound join key
+// typically touches few rows).
+func estimateWith(src cardSource, pat Pattern, bound map[string]bool) int {
 	tp := strabon.TriplePattern{}
 	boundVars := 0
 	resolve := func(pt PatTerm, set func(uint64)) {
@@ -584,7 +661,7 @@ func (e *Engine) estimate(pat Pattern, bound map[string]bool) int {
 			}
 			return
 		}
-		if id, err := e.store.LookupID(pt.Term); err == nil {
+		if id, err := src.LookupID(pt.Term); err == nil {
 			set(id)
 		} else {
 			// Unknown constant: the pattern cannot match.
@@ -607,7 +684,7 @@ func (e *Engine) estimate(pat Pattern, bound map[string]bool) int {
 	if unmatchable {
 		return 0
 	}
-	est := e.store.Cardinality(tp)
+	est := src.Cardinality(tp)
 	// Each already-bound variable restricts the result roughly like an
 	// equality selection; use a /8 discount per bound var.
 	for i := 0; i < boundVars; i++ {

@@ -1,0 +1,80 @@
+package stsparql
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+)
+
+// TestConcurrentQueriesAndUpdates exercises the snapshot API under `go
+// test -race`: readers evaluate queries (each against an immutable
+// snapshot) while writers add, remove and compact concurrently. Queries
+// must never observe torn state (panic / error); counts may legitimately
+// vary between snapshots.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	st := strabon.NewStore()
+	for i := 0; i < 50; i++ {
+		st.Add(rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://ex/s%d", i)),
+			rdf.IRI(rdf.RDFType),
+			rdf.IRI("http://ex/Thing")))
+		st.Add(rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://ex/s%d", i)),
+			rdf.IRI("http://ex/geom"),
+			rdf.TypedLiteral(fmt.Sprintf("POINT (23.%02d 37.%02d)", i%100, i%100),
+				"http://strdf.di.uoa.gr/ontology#WKT")))
+	}
+	eng := New(st)
+	queries := []string{
+		`SELECT ?s WHERE { ?s a <http://ex/Thing> }`,
+		`PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		 SELECT ?s ?g WHERE {
+			?s <http://ex/geom> ?g .
+			FILTER(strdf:intersects(?g, "POLYGON ((23 37, 24 37, 24 38, 23 38, 23 37))"^^strdf:WKT))
+		 }`,
+		`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`,
+		`ASK { ?s a <http://ex/Thing> }`,
+	}
+	const iters = 150
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := eng.Query(queries[(w+i)%len(queries)]); err != nil {
+					t.Errorf("reader %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tr := rdf.NewTriple(
+					rdf.IRI(fmt.Sprintf("http://ex/w%d-%d", w, i)),
+					rdf.IRI(rdf.RDFType),
+					rdf.IRI("http://ex/Thing"))
+				st.Add(tr)
+				if i%3 == 0 {
+					st.Remove(tr)
+				}
+				if i%25 == 0 {
+					st.Compact()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Final state must still answer deterministically.
+	res := eng.MustQuery(`SELECT (COUNT(*) AS ?n) WHERE { ?s a <http://ex/Thing> }`)
+	if len(res.Bindings) != 1 {
+		t.Fatalf("final count query returned %d rows", len(res.Bindings))
+	}
+}
