@@ -3,8 +3,12 @@
 GO ?= go
 
 # The tier-1 benchmark set: the paper's three figures, two scenarios, the
-# flagship query and the design ablations (see bench_test.go).
-BENCH_TIER1 = BenchmarkFigure3CatalogueSearch|BenchmarkFlagshipQuery|BenchmarkOptimizerOrdering|BenchmarkAblationExecutor|BenchmarkAblationSpatialIndex
+# flagship query and the design ablations (see bench_test.go), plus the
+# SciQL executor and parallel array-kernel benchmarks (internal/sciql,
+# internal/array) added in PR 3.
+BENCH_TIER1 = BenchmarkFigure1Pipeline|BenchmarkFigure3CatalogueSearch|BenchmarkFlagshipQuery|BenchmarkOptimizerOrdering|BenchmarkAblationExecutor|BenchmarkAblationSpatialIndex
+BENCH_SCIQL = BenchmarkSelectFilter|BenchmarkGroupByAggregate|BenchmarkArrayUpdateClassify|BenchmarkAlignedArrayJoin|BenchmarkDimensionPushdownCrop|BenchmarkAblationSciQLExecutor
+BENCH_ARRAY = BenchmarkConvolve2D|BenchmarkResampleBilinear|BenchmarkTileAvg|BenchmarkConnectedComponents|BenchmarkSummarize|BenchmarkAblationParallelKernels
 
 .PHONY: all build test race vet bench bench-json clean
 
@@ -17,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/endpoint/ ./internal/strabon/ ./internal/stsparql/
+	$(GO) test -race ./internal/endpoint/ ./internal/strabon/ ./internal/stsparql/ ./internal/sciql/ ./internal/array/
 
 vet:
 	$(GO) vet ./...
@@ -26,12 +30,14 @@ vet:
 # leaves both the raw output (bench.out) and the JSON artefact.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_TIER1)' -benchmem . | tee bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_SCIQL)' -benchmem ./internal/sciql/ | tee -a bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_ARRAY)' -benchmem ./internal/array/ | tee -a bench.out
 
 # bench-json converts the last bench run (or a fresh one) into the
 # machine-readable perf record.
 bench-json: bench
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR2.json
-	@echo wrote BENCH_PR2.json
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR3.json
+	@echo wrote BENCH_PR3.json
 
 clean:
 	rm -f bench.out

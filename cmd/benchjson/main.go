@@ -24,6 +24,7 @@ import (
 // Result is one benchmark line.
 type Result struct {
 	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
@@ -38,12 +39,18 @@ func main() {
 	rep := Report{Context: map[string]string{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// pkg headers repeat per package in multi-package runs; each result
+	// records the one in effect when its line appeared.
+	curPkg := ""
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		// Header lines: "goos: linux", "cpu: ...", "pkg: ...".
 		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
 			if v, ok := strings.CutPrefix(line, key+": "); ok {
 				rep.Context[key] = v
+				if key == "pkg" {
+					curPkg = v
+				}
 			}
 		}
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -57,7 +64,7 @@ func main() {
 		if err != nil {
 			continue
 		}
-		r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		r := Result{Name: fields[0], Pkg: curPkg, Iterations: iters, Metrics: map[string]float64{}}
 		// The remainder alternates value / unit.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)

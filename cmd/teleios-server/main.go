@@ -6,7 +6,7 @@
 //
 //	teleios-server [-addr :8080] [-store DIR] [-nt FILE] [-linked]
 //	               [-cache N] [-max-concurrency N] [-timeout DUR]
-//	               [-readonly] [-save]
+//	               [-readonly] [-save] [-legacy-eval] [-legacy-sciql]
 //
 // The dataset is assembled from any combination of a saved store
 // directory (-store, as written by Store.Save), an N-Triples file (-nt)
@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/endpoint"
 	"repro/internal/linkeddata"
+	"repro/internal/sciql"
 	"repro/internal/strabon"
 	"repro/internal/stsparql"
 )
@@ -52,7 +53,10 @@ func main() {
 	readonly := flag.Bool("readonly", false, "reject UPDATE statements")
 	save := flag.Bool("save", false, "write the store back to -store on shutdown")
 	legacyEval := flag.Bool("legacy-eval", false, "use the legacy binding-at-a-time evaluator instead of the vectorized id-space executor")
+	legacySciQL := flag.Bool("legacy-sciql", false, "use the legacy tuple-at-a-time SciQL interpreter instead of the columnar kernel executor (applies to every SciQL engine in this process)")
 	flag.Parse()
+
+	sciql.DefaultDisableVectorized = *legacySciQL
 
 	if err := run(*addr, *storeDir, *ntFile, *linked, *cacheSize, *maxConc, *queueDepth, *timeout, *readonly, *save, *legacyEval); err != nil {
 		fmt.Fprintln(os.Stderr, "teleios-server:", err)

@@ -202,14 +202,34 @@ func (a *Array) Slice(lo, hi []int) (*Array, error) {
 	return out, nil
 }
 
-// Map applies f to every valid cell, returning a new array.
+// Map applies f to every valid cell, returning a new array. Cells are
+// processed tile-parallel across the shared worker pool, so f must be
+// safe for concurrent calls (pure functions always are).
 func (a *Array) Map(f func(float64) float64) *Array {
 	out := a.Clone()
-	for i, v := range out.Data {
-		if !out.IsNull(i) {
-			out.Data[i] = f(v)
+	if len(out.Data) < minParallelCells {
+		for i, v := range out.Data {
+			if !out.IsNull(i) {
+				out.Data[i] = f(v)
+			}
 		}
+		return out
 	}
+	ParallelRange(len(out.Data), func(lo, hi int) {
+		data := out.Data[lo:hi]
+		if out.Null == nil {
+			for i, v := range data {
+				data[i] = f(v)
+			}
+			return
+		}
+		nulls := out.Null[lo:hi]
+		for i, v := range data {
+			if !nulls[i] {
+				data[i] = f(v)
+			}
+		}
+	})
 	return out
 }
 
@@ -228,13 +248,27 @@ func Combine(a, b *Array, f func(x, y float64) float64) (*Array, error) {
 	if b.Null != nil && out.Null == nil {
 		out.Null = make([]bool, len(out.Data))
 	}
-	for i := range out.Data {
-		if a.IsNull(i) || b.IsNull(i) {
-			out.Null[i] = true
-			out.Data[i] = 0
-			continue
+	combine := func(lo, hi int) {
+		if out.Null == nil {
+			for i := lo; i < hi; i++ {
+				out.Data[i] = f(a.Data[i], b.Data[i])
+			}
+			return
 		}
-		out.Data[i] = f(a.Data[i], b.Data[i])
+		for i := lo; i < hi; i++ {
+			if a.IsNull(i) || b.IsNull(i) {
+				out.Null[i] = true
+				out.Data[i] = 0
+				continue
+			}
+			out.Data[i] = f(a.Data[i], b.Data[i])
+		}
+	}
+	if len(out.Data) < minParallelCells {
+		combine(0, len(out.Data))
+	} else {
+		// f runs tile-parallel; it must be safe for concurrent calls.
+		ParallelRange(len(out.Data), combine)
 	}
 	return out, nil
 }
@@ -248,22 +282,107 @@ type Stats struct {
 	StdDev   float64
 }
 
-// Summarize computes aggregate statistics over the valid cells.
+// summarizeBlock is the fixed partial-reduction granule of Summarize.
+// Partials are always accumulated per summarizeBlock-sized slice and
+// merged in block order, so the result is bit-identical at every
+// parallelism level (1, 2, 4, GOMAXPROCS workers all reduce the same
+// block partials in the same order).
+const summarizeBlock = 32 << 10
+
+// Summarize computes aggregate statistics over the valid cells. Blocks
+// of cells reduce tile-parallel on the shared worker pool.
 func (a *Array) Summarize() Stats {
 	s := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
 	var sumSq float64
-	for i, v := range a.Data {
-		if a.IsNull(i) {
-			continue
+	n := len(a.Data)
+	if n <= summarizeBlock {
+		if a.Null == nil {
+			for _, v := range a.Data {
+				s.Sum += v
+				sumSq += v * v
+				if v < s.Min {
+					s.Min = v
+				}
+				if v > s.Max {
+					s.Max = v
+				}
+			}
+			s.Count = n
+		} else {
+			for i, v := range a.Data {
+				if a.Null[i] {
+					continue
+				}
+				s.Count++
+				s.Sum += v
+				sumSq += v * v
+				if v < s.Min {
+					s.Min = v
+				}
+				if v > s.Max {
+					s.Max = v
+				}
+			}
 		}
-		s.Count++
-		s.Sum += v
-		sumSq += v * v
-		if v < s.Min {
-			s.Min = v
+	} else {
+		type partial struct {
+			count    int
+			sum      float64
+			sumSq    float64
+			min, max float64
 		}
-		if v > s.Max {
-			s.Max = v
+		nBlocks := (n + summarizeBlock - 1) / summarizeBlock
+		parts := make([]partial, nBlocks)
+		ParallelRange(nBlocks, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				p := partial{min: math.Inf(1), max: math.Inf(-1)}
+				end := (b + 1) * summarizeBlock
+				if end > n {
+					end = n
+				}
+				data := a.Data[b*summarizeBlock : end]
+				if a.Null == nil {
+					for _, v := range data {
+						p.count++
+						p.sum += v
+						p.sumSq += v * v
+						if v < p.min {
+							p.min = v
+						}
+						if v > p.max {
+							p.max = v
+						}
+					}
+				} else {
+					nulls := a.Null[b*summarizeBlock : end]
+					for i, v := range data {
+						if nulls[i] {
+							continue
+						}
+						p.count++
+						p.sum += v
+						p.sumSq += v * v
+						if v < p.min {
+							p.min = v
+						}
+						if v > p.max {
+							p.max = v
+						}
+					}
+				}
+				parts[b] = p
+			}
+		})
+		for _, p := range parts {
+			s.Count += p.count
+			s.Sum += p.sum
+			sumSq += p.sumSq
+			if p.min < s.Min {
+				s.Min = p.min
+			}
+			if p.max > s.Max {
+				s.Max = p.max
+			}
 		}
 	}
 	if s.Count > 0 {
@@ -277,6 +396,41 @@ func (a *Array) Summarize() Stats {
 		s.Min, s.Max = 0, 0
 	}
 	return s
+}
+
+// MinMax reports the extremes of the valid cells without the full
+// Summarize reduction — the binning pre-pass of patch extraction only
+// needs the range. ok is false when no cell is valid.
+func (a *Array) MinMax() (min, max float64, ok bool) {
+	min, max = math.Inf(1), math.Inf(-1)
+	if a.Null == nil {
+		for _, v := range a.Data {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		ok = len(a.Data) > 0
+	} else {
+		for i, v := range a.Data {
+			if a.Null[i] {
+				continue
+			}
+			ok = true
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return min, max, true
 }
 
 // Histogram counts valid cells into nBins equal-width bins over [lo, hi].

@@ -2,6 +2,7 @@ package array
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -13,10 +14,14 @@ func benchImage(size int) *Array {
 	return a
 }
 
+// The 2D kernels are benchmark-gated at 128² and 512² (the NOA chain's
+// working sizes); BenchmarkAblationParallelKernels sweeps the worker
+// count for the cores-scaling ablation.
+
 func BenchmarkConvolve2D(b *testing.B) {
+	kernel := [][]float64{{0, 1, 0}, {1, -4, 1}, {0, 1, 0}}
 	for _, size := range []int{128, 512} {
 		img := benchImage(size)
-		kernel := [][]float64{{0, 1, 0}, {1, -4, 1}, {0, 1, 0}}
 		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := img.Convolve2D(kernel); err != nil {
@@ -28,46 +33,89 @@ func BenchmarkConvolve2D(b *testing.B) {
 }
 
 func BenchmarkResampleBilinear(b *testing.B) {
-	img := benchImage(512)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := img.Resample(256, 256, Bilinear); err != nil {
-			b.Fatal(err)
-		}
+	for _, size := range []int{128, 512} {
+		img := benchImage(size)
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := img.Resample(size/2, size/2, Bilinear); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 func BenchmarkTileAvg(b *testing.B) {
-	img := benchImage(512)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := img.Tile(16, 16, "avg"); err != nil {
-			b.Fatal(err)
-		}
+	for _, size := range []int{128, 512} {
+		img := benchImage(size)
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := img.Tile(16, 16, "avg"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 func BenchmarkConnectedComponents(b *testing.B) {
-	img := benchImage(512)
-	mask := img.Threshold(0.9) // ~10% of cells set, fragmented
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		comps, err := mask.ConnectedComponents()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(comps) == 0 {
-			b.Fatal("no components")
-		}
+	for _, size := range []int{128, 512} {
+		img := benchImage(size)
+		mask := img.Threshold(0.9) // ~10% of cells set, fragmented
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				comps, err := mask.ConnectedComponents()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(comps) == 0 {
+					b.Fatal("no components")
+				}
+			}
+		})
 	}
 }
 
 func BenchmarkSummarize(b *testing.B) {
-	img := benchImage(1024)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if s := img.Summarize(); s.Count == 0 {
-			b.Fatal("empty")
+	for _, size := range []int{512, 1024} {
+		img := benchImage(size)
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if s := img.Summarize(); s.Count == 0 {
+					b.Fatal("empty")
+				}
+			}
+		})
+	}
+}
+
+// A5 — ablation: tile-parallel kernel scaling across worker counts
+// (1, 2, 4 and GOMAXPROCS), at both gated image sizes.
+func BenchmarkAblationParallelKernels(b *testing.B) {
+	kernel := [][]float64{{0, 1, 0}, {1, -4, 1}, {0, 1, 0}}
+	workerSet := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		workerSet = append(workerSet, n)
+	}
+	for _, size := range []int{128, 512} {
+		img := benchImage(size)
+		mask := img.Threshold(0.9)
+		for _, workers := range workerSet {
+			b.Run(fmt.Sprintf("size=%d/workers=%d", size, workers), func(b *testing.B) {
+				prev := SetParallelism(workers)
+				defer SetParallelism(prev)
+				for i := 0; i < b.N; i++ {
+					if _, err := img.Convolve2D(kernel); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := img.Tile(16, 16, "avg"); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := mask.ConnectedComponents(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

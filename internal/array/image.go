@@ -45,22 +45,61 @@ func (a *Array) Convolve2D(kernel [][]float64) (*Array, error) {
 		out.Null = append([]bool(nil), a.Null...)
 	}
 	r := k / 2
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			if a.IsNull(y*w + x) {
+	// Border cells clamp; interior cells run a tight multiply-accumulate
+	// over direct row slices. Rows are partitioned across the worker pool.
+	cell := func(y, x int) float64 {
+		var sum float64
+		for dy := -r; dy <= r; dy++ {
+			yy := clamp(y+dy, 0, h-1)
+			row := a.Data[yy*w : yy*w+w]
+			krow := kernel[dy+r]
+			for dx := -r; dx <= r; dx++ {
+				sum += krow[dx+r] * row[clamp(x+dx, 0, w-1)]
+			}
+		}
+		return sum
+	}
+	parallelRows(h, w*k*k, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			rowOff := y * w
+			outRow := out.Data[rowOff : rowOff+w]
+			if y < r || y >= h-r || w < k {
+				for x := 0; x < w; x++ {
+					if a.Null != nil && a.Null[rowOff+x] {
+						continue
+					}
+					outRow[x] = cell(y, x)
+				}
 				continue
 			}
-			var sum float64
-			for dy := -r; dy <= r; dy++ {
-				for dx := -r; dx <= r; dx++ {
-					yy := clamp(y+dy, 0, h-1)
-					xx := clamp(x+dx, 0, w-1)
-					sum += kernel[dy+r][dx+r] * a.At2(yy, xx)
+			for x := 0; x < r; x++ {
+				if a.Null != nil && a.Null[rowOff+x] {
+					continue
 				}
+				outRow[x] = cell(y, x)
 			}
-			out.Set2(y, x, sum)
+			for x := r; x < w-r; x++ {
+				if a.Null != nil && a.Null[rowOff+x] {
+					continue
+				}
+				var sum float64
+				for dy := -r; dy <= r; dy++ {
+					base := (y+dy)*w + x - r
+					krow := kernel[dy+r]
+					for dx := 0; dx < k; dx++ {
+						sum += krow[dx] * a.Data[base+dx]
+					}
+				}
+				outRow[x] = sum
+			}
+			for x := w - r; x < w; x++ {
+				if a.Null != nil && a.Null[rowOff+x] {
+					continue
+				}
+				outRow[x] = cell(y, x)
+			}
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -114,20 +153,23 @@ func (a *Array) Resample(newH, newW int, mode ResampleMode) (*Array, error) {
 	out := MustNew(a.Name, Dim{a.Dims[0].Name, newH}, Dim{a.Dims[1].Name, newW})
 	sy := float64(h) / float64(newH)
 	sx := float64(w) / float64(newW)
-	for y := 0; y < newH; y++ {
-		for x := 0; x < newW; x++ {
+	parallelRows(newH, newW, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			outRow := out.Data[y*newW : y*newW+newW]
 			fy := (float64(y) + 0.5) * sy
-			fx := (float64(x) + 0.5) * sx
-			switch mode {
-			case Bilinear:
-				out.Set2(y, x, a.bilinear(fy-0.5, fx-0.5))
-			default:
-				yy := clamp(int(fy), 0, h-1)
-				xx := clamp(int(fx), 0, w-1)
-				out.Set2(y, x, a.At2(yy, xx))
+			for x := 0; x < newW; x++ {
+				fx := (float64(x) + 0.5) * sx
+				switch mode {
+				case Bilinear:
+					outRow[x] = a.bilinear(fy-0.5, fx-0.5)
+				default:
+					yy := clamp(int(fy), 0, h-1)
+					xx := clamp(int(fx), 0, w-1)
+					outRow[x] = a.Data[yy*w+xx]
+				}
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -174,53 +216,64 @@ func (a *Array) Tile(tileH, tileW int, agg string) (*Array, error) {
 	if tileH <= 0 || tileW <= 0 {
 		return nil, fmt.Errorf("array: bad tile size %dx%d", tileH, tileW)
 	}
+	switch agg {
+	case "avg", "min", "max", "sum":
+	default:
+		return nil, fmt.Errorf("array: unknown tile aggregate %q", agg)
+	}
 	h, w := a.Height(), a.Width()
 	oh := (h + tileH - 1) / tileH
 	ow := (w + tileW - 1) / tileW
 	out := MustNew(a.Name, Dim{a.Dims[0].Name, oh}, Dim{a.Dims[1].Name, ow})
-	for ty := 0; ty < oh; ty++ {
-		for tx := 0; tx < ow; tx++ {
-			var sum, min, max float64
-			min, max = math.Inf(1), math.Inf(-1)
-			count := 0
-			for y := ty * tileH; y < (ty+1)*tileH && y < h; y++ {
-				for x := tx * tileW; x < (tx+1)*tileW && x < w; x++ {
-					if a.IsNull(y*w + x) {
-						continue
+	// One output tile row per work item: each covers tileH input rows.
+	parallelRows(oh, tileH*w, func(ty0, ty1 int) {
+		for ty := ty0; ty < ty1; ty++ {
+			for tx := 0; tx < ow; tx++ {
+				var sum, min, max float64
+				min, max = math.Inf(1), math.Inf(-1)
+				count := 0
+				for y := ty * tileH; y < (ty+1)*tileH && y < h; y++ {
+					rowOff := y * w
+					x1 := (tx + 1) * tileW
+					if x1 > w {
+						x1 = w
 					}
-					v := a.At2(y, x)
-					sum += v
-					if v < min {
-						min = v
+					for x := tx * tileW; x < x1; x++ {
+						if a.Null != nil && a.Null[rowOff+x] {
+							continue
+						}
+						v := a.Data[rowOff+x]
+						sum += v
+						if v < min {
+							min = v
+						}
+						if v > max {
+							max = v
+						}
+						count++
 					}
-					if v > max {
-						max = v
-					}
-					count++
 				}
+				var v float64
+				switch agg {
+				case "avg":
+					if count > 0 {
+						v = sum / float64(count)
+					}
+				case "min":
+					if count > 0 {
+						v = min
+					}
+				case "max":
+					if count > 0 {
+						v = max
+					}
+				case "sum":
+					v = sum
+				}
+				out.Data[ty*ow+tx] = v
 			}
-			var v float64
-			switch agg {
-			case "avg":
-				if count > 0 {
-					v = sum / float64(count)
-				}
-			case "min":
-				if count > 0 {
-					v = min
-				}
-			case "max":
-				if count > 0 {
-					v = max
-				}
-			case "sum":
-				v = sum
-			default:
-				return nil, fmt.Errorf("array: unknown tile aggregate %q", agg)
-			}
-			out.Set2(ty, tx, v)
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -239,54 +292,121 @@ func (c *Component) Size() int { return len(c.Cells) }
 
 // ConnectedComponents labels the 4-connected components of non-zero cells
 // — grouping adjacent hot pixels into hotspot regions before geometry
-// generation.
+// generation. The sweep is a tile-parallel union-find: row strips are
+// labelled concurrently on the worker pool, strip boundaries are merged,
+// and components are numbered in row-major order of their first cell
+// (the same labelling order the sequential scan produced). Member cells
+// are listed in row-major order.
 func (a *Array) ConnectedComponents() ([]Component, error) {
 	if err := a.check2D(); err != nil {
 		return nil, err
 	}
 	h, w := a.Height(), a.Width()
-	labels := make([]int, h*w)
-	var comps []Component
-	var stack [][2]int
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			if labels[y*w+x] != 0 || a.At2(y, x) == 0 || a.IsNull(y*w+x) {
-				continue
+	n := h * w
+	if n >= 1<<31 {
+		return nil, fmt.Errorf("array: %q too large for component labelling", a.Name)
+	}
+	// parent[i] < 0 marks background; otherwise it is the union-find link.
+	parent := make([]int32, n)
+
+	// Phase 1: label disjoint row strips in parallel. Links never cross a
+	// strip boundary, so strips touch disjoint parent ranges.
+	stripRows := h
+	if workers := Parallelism(); workers > 1 && n >= minParallelCells {
+		stripRows = (h + workers - 1) / workers
+	}
+	nStrips := (h + stripRows - 1) / stripRows
+	ParallelRange(nStrips, func(s0, s1 int) {
+		for s := s0; s < s1; s++ {
+			y0, y1 := s*stripRows, (s+1)*stripRows
+			if y1 > h {
+				y1 = h
 			}
-			id := len(comps) + 1
-			comp := Component{Label: id, MinY: y, MinX: x, MaxY: y, MaxX: x}
-			stack = stack[:0]
-			stack = append(stack, [2]int{y, x})
-			labels[y*w+x] = id
-			for len(stack) > 0 {
-				c := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				comp.Cells = append(comp.Cells, c)
-				if c[0] < comp.MinY {
-					comp.MinY = c[0]
-				}
-				if c[0] > comp.MaxY {
-					comp.MaxY = c[0]
-				}
-				if c[1] < comp.MinX {
-					comp.MinX = c[1]
-				}
-				if c[1] > comp.MaxX {
-					comp.MaxX = c[1]
-				}
-				for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
-					ny, nx := c[0]+d[0], c[1]+d[1]
-					if ny < 0 || ny >= h || nx < 0 || nx >= w {
+			for y := y0; y < y1; y++ {
+				off := y * w
+				for x := 0; x < w; x++ {
+					i := off + x
+					if a.Data[i] == 0 || (a.Null != nil && a.Null[i]) {
+						parent[i] = -1
 						continue
 					}
-					if labels[ny*w+nx] == 0 && a.At2(ny, nx) != 0 && !a.IsNull(ny*w+nx) {
-						labels[ny*w+nx] = id
-						stack = append(stack, [2]int{ny, nx})
+					parent[i] = int32(i)
+					if x > 0 && parent[i-1] >= 0 {
+						ufUnion(parent, int32(i), int32(i-1))
+					}
+					if y > y0 && parent[i-w] >= 0 {
+						ufUnion(parent, int32(i), int32(i-w))
 					}
 				}
 			}
-			comps = append(comps, comp)
+		}
+	})
+
+	// Phase 2: merge components across strip boundaries.
+	for s := 1; s < nStrips; s++ {
+		off := s * stripRows * w
+		for x := 0; x < w; x++ {
+			if parent[off+x] >= 0 && parent[off+x-w] >= 0 {
+				ufUnion(parent, int32(off+x), int32(off+x-w))
+			}
+		}
+	}
+
+	// Phase 3: one row-major sweep assigns component ids in first-cell
+	// order and collects cells and bounds.
+	var comps []Component
+	rootComp := map[int32]int32{}
+	for y := 0; y < h; y++ {
+		off := y * w
+		for x := 0; x < w; x++ {
+			i := off + x
+			if parent[i] < 0 {
+				continue
+			}
+			r := ufFind(parent, int32(i))
+			id, ok := rootComp[r]
+			if !ok {
+				id = int32(len(comps))
+				rootComp[r] = id
+				comps = append(comps, Component{
+					Label: len(comps) + 1,
+					MinY:  y, MinX: x, MaxY: y, MaxX: x,
+				})
+			}
+			c := &comps[id]
+			c.Cells = append(c.Cells, [2]int{y, x})
+			if y > c.MaxY {
+				c.MaxY = y
+			}
+			if x < c.MinX {
+				c.MinX = x
+			}
+			if x > c.MaxX {
+				c.MaxX = x
+			}
 		}
 	}
 	return comps, nil
+}
+
+// ufFind resolves the union-find root of i with path halving.
+func ufFind(parent []int32, i int32) int32 {
+	for parent[i] != i {
+		parent[i] = parent[parent[i]]
+		i = parent[i]
+	}
+	return i
+}
+
+// ufUnion links the components of a and b, keeping the smaller root (so
+// roots tend toward each component's first cell).
+func ufUnion(parent []int32, a, b int32) {
+	ra, rb := ufFind(parent, a), ufFind(parent, b)
+	switch {
+	case ra == rb:
+	case ra < rb:
+		parent[rb] = ra
+	default:
+		parent[ra] = rb
+	}
 }

@@ -1,0 +1,167 @@
+package array
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func randImage(rng *rand.Rand, h, w int, withNulls bool) *Array {
+	a := MustNew("img", Dim{Name: "y", Size: h}, Dim{Name: "x", Size: w})
+	for i := range a.Data {
+		a.Data[i] = rng.Float64() * 100
+	}
+	if withNulls {
+		a.Null = make([]bool, len(a.Data))
+		for i := range a.Null {
+			a.Null[i] = rng.Intn(11) == 0
+		}
+	}
+	return a
+}
+
+func sameArray(t *testing.T, label string, a, b *Array) {
+	t.Helper()
+	if len(a.Data) != len(b.Data) {
+		t.Fatalf("%s: size %d vs %d", label, len(a.Data), len(b.Data))
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] || a.IsNull(i) != b.IsNull(i) {
+			t.Fatalf("%s: cell %d differs: %g/%v vs %g/%v",
+				label, i, a.Data[i], a.IsNull(i), b.Data[i], b.IsNull(i))
+		}
+	}
+}
+
+// TestParallelKernelEquivalence pins every tile-parallel kernel to
+// bit-identical results at parallelism 1, 2 and the machine default —
+// including the deterministic block reduction of Summarize.
+func TestParallelKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	images := []*Array{
+		randImage(rng, 13, 17, false),
+		randImage(rng, 200, 150, true), // above the parallel threshold
+		randImage(rng, 300, 120, false),
+	}
+	kernel := [][]float64{{0, 1, 0}, {1, -4, 1}, {0, 1, 0}}
+	type outcome struct {
+		conv, res, tile, thr *Array
+		stats                Stats
+		comps                []Component
+	}
+	run := func(img *Array) outcome {
+		conv, err := img.Convolve2D(kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := img.Resample(77, 41, Bilinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tile, err := img.Tile(7, 9, "avg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		thr := img.Threshold(50)
+		comps, err := thr.ConnectedComponents()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{conv: conv, res: res, tile: tile, thr: thr, stats: img.Summarize(), comps: comps}
+	}
+	for i, img := range images {
+		var ref outcome
+		for _, workers := range []int{1, 2, 0} {
+			prev := SetParallelism(workers)
+			got := run(img)
+			SetParallelism(prev)
+			if workers == 1 {
+				ref = got
+				continue
+			}
+			label := fmt.Sprintf("img%d workers=%d", i, workers)
+			sameArray(t, label+" convolve", ref.conv, got.conv)
+			sameArray(t, label+" resample", ref.res, got.res)
+			sameArray(t, label+" tile", ref.tile, got.tile)
+			sameArray(t, label+" threshold", ref.thr, got.thr)
+			if ref.stats != got.stats {
+				t.Fatalf("%s summarize: %+v vs %+v", label, ref.stats, got.stats)
+			}
+			if len(ref.comps) != len(got.comps) {
+				t.Fatalf("%s components: %d vs %d", label, len(ref.comps), len(got.comps))
+			}
+			for c := range ref.comps {
+				r, g := ref.comps[c], got.comps[c]
+				if r.Label != g.Label || r.MinY != g.MinY || r.MinX != g.MinX ||
+					r.MaxY != g.MaxY || r.MaxX != g.MaxX || len(r.Cells) != len(g.Cells) {
+					t.Fatalf("%s component %d differs: %+v vs %+v", label, c, r, g)
+				}
+				for k := range r.Cells {
+					if r.Cells[k] != g.Cells[k] {
+						t.Fatalf("%s component %d cell %d differs", label, c, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConnectedComponentsStripMerge stresses components that span many
+// strip boundaries (vertical stripes and a full-frame spiral-ish snake).
+func TestConnectedComponentsStripMerge(t *testing.T) {
+	h, w := 400, 64 // tall: strips split on rows
+	a := MustNew("m", Dim{Name: "y", Size: h}, Dim{Name: "x", Size: w})
+	// Vertical stripes every 4 columns: each is ONE component crossing
+	// every strip boundary.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x += 4 {
+			a.Set2(y, x, 1)
+		}
+	}
+	for _, workers := range []int{1, 3, 0} {
+		prev := SetParallelism(workers)
+		comps, err := a.ConnectedComponents()
+		SetParallelism(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(comps) != w/4 {
+			t.Fatalf("workers=%d: components = %d, want %d", workers, len(comps), w/4)
+		}
+		for i, c := range comps {
+			if c.Size() != h {
+				t.Fatalf("workers=%d: component %d size %d, want %d", workers, i, c.Size(), h)
+			}
+			if c.MinX != i*4 || c.MaxX != i*4 || c.MinY != 0 || c.MaxY != h-1 {
+				t.Fatalf("workers=%d: component %d bbox %+v", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestParallelPoolSharedAcrossGoroutines hammers the pool from many
+// goroutines at once (nested use saturates the task queue and falls back
+// to inline execution rather than deadlocking).
+func TestParallelPoolSharedAcrossGoroutines(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			total := make([]int, 1<<17)
+			ParallelRange(len(total), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					total[i] = i + g
+				}
+			})
+			for i := range total {
+				if total[i] != i+g {
+					t.Errorf("goroutine %d: cell %d = %d", g, i, total[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -154,6 +154,19 @@ func (c *Column) AppendBool(v bool) {
 	}
 }
 
+// AttachNulls installs a validity bitmap wholesale: nulls[i] set marks
+// row i NULL. Passing nil (or an all-false mask) clears the bitmap. The
+// slice is retained, not copied.
+func (c *Column) AttachNulls(nulls []bool) {
+	for _, isNull := range nulls {
+		if isNull {
+			c.nulls = nulls
+			return
+		}
+	}
+	c.nulls = nil
+}
+
 // AppendNull appends a NULL row.
 func (c *Column) AppendNull() {
 	switch c.Typ {

@@ -90,6 +90,19 @@ func (t *Table) Gather(positions []int) *Table {
 	return out
 }
 
+// Head returns a view of the first n rows (shared column backing
+// arrays); the table itself is returned when it has no more than n rows.
+func (t *Table) Head(n int) *Table {
+	if t.NumRows() <= n {
+		return t
+	}
+	out := &Table{Name: t.Name, Fields: t.Fields}
+	for _, c := range t.Cols {
+		out.Cols = append(out.Cols, c.Slice(0, n))
+	}
+	return out
+}
+
 // Project returns a new table with only the named columns.
 func (t *Table) Project(names ...string) (*Table, error) {
 	out := &Table{Name: t.Name}

@@ -9,12 +9,19 @@ import (
 
 // WKT serialisation -----------------------------------------------------------
 
+// Serialisation appends into a single buffer (one allocation per
+// geometry) instead of formatting every coordinate into its own interim
+// string — WKT generation sits on the metadata and annotation hot paths
+// of the ingestion chain.
+
 // WKT implements Geometry for Point.
 func (p Point) WKT() string {
 	if p.IsEmpty() {
 		return "POINT EMPTY"
 	}
-	return "POINT (" + coordWKT(p) + ")"
+	buf := append(make([]byte, 0, 32), "POINT ("...)
+	buf = appendCoord(buf, p)
+	return string(append(buf, ')'))
 }
 
 // WKT implements Geometry for MultiPoint.
@@ -22,11 +29,16 @@ func (m MultiPoint) WKT() string {
 	if m.IsEmpty() {
 		return "MULTIPOINT EMPTY"
 	}
-	parts := make([]string, len(m.Points))
+	buf := append(make([]byte, 0, 16+24*len(m.Points)), "MULTIPOINT ("...)
 	for i, p := range m.Points {
-		parts[i] = "(" + coordWKT(p) + ")"
+		if i > 0 {
+			buf = append(buf, ", "...)
+		}
+		buf = append(buf, '(')
+		buf = appendCoord(buf, p)
+		buf = append(buf, ')')
 	}
-	return "MULTIPOINT (" + strings.Join(parts, ", ") + ")"
+	return string(append(buf, ')'))
 }
 
 // WKT implements Geometry for LineString.
@@ -34,7 +46,8 @@ func (l LineString) WKT() string {
 	if l.IsEmpty() {
 		return "LINESTRING EMPTY"
 	}
-	return "LINESTRING " + coordsWKT(l.Coords)
+	buf := append(make([]byte, 0, 16+24*len(l.Coords)), "LINESTRING "...)
+	return string(appendCoords(buf, l.Coords))
 }
 
 // WKT implements Geometry for MultiLineString.
@@ -42,11 +55,14 @@ func (m MultiLineString) WKT() string {
 	if m.IsEmpty() {
 		return "MULTILINESTRING EMPTY"
 	}
-	parts := make([]string, len(m.Lines))
+	buf := append(make([]byte, 0, 64), "MULTILINESTRING ("...)
 	for i, l := range m.Lines {
-		parts[i] = coordsWKT(l.Coords)
+		if i > 0 {
+			buf = append(buf, ", "...)
+		}
+		buf = appendCoords(buf, l.Coords)
 	}
-	return "MULTILINESTRING (" + strings.Join(parts, ", ") + ")"
+	return string(append(buf, ')'))
 }
 
 // WKT implements Geometry for Polygon.
@@ -54,7 +70,8 @@ func (p Polygon) WKT() string {
 	if p.IsEmpty() {
 		return "POLYGON EMPTY"
 	}
-	return "POLYGON " + polyBodyWKT(p)
+	buf := append(make([]byte, 0, 24+24*len(p.Exterior.Coords)), "POLYGON "...)
+	return string(appendPolyBody(buf, p))
 }
 
 // WKT implements Geometry for MultiPolygon.
@@ -62,11 +79,14 @@ func (m MultiPolygon) WKT() string {
 	if m.IsEmpty() {
 		return "MULTIPOLYGON EMPTY"
 	}
-	parts := make([]string, len(m.Polygons))
+	buf := append(make([]byte, 0, 64), "MULTIPOLYGON ("...)
 	for i, p := range m.Polygons {
-		parts[i] = polyBodyWKT(p)
+		if i > 0 {
+			buf = append(buf, ", "...)
+		}
+		buf = appendPolyBody(buf, p)
 	}
-	return "MULTIPOLYGON (" + strings.Join(parts, ", ") + ")"
+	return string(append(buf, ')'))
 }
 
 // WKT implements Geometry for GeometryCollection.
@@ -81,25 +101,59 @@ func (g GeometryCollection) WKT() string {
 	return "GEOMETRYCOLLECTION (" + strings.Join(parts, ", ") + ")"
 }
 
-func coordWKT(p Point) string {
-	return fmtFloat(p.X) + " " + fmtFloat(p.Y)
+// AppendWKT appends g's WKT text to buf — the allocation-free form of
+// Geometry.WKT for callers that embed the text in a larger literal.
+func AppendWKT(buf []byte, g Geometry) []byte {
+	switch t := g.(type) {
+	case Point:
+		if t.IsEmpty() {
+			return append(buf, "POINT EMPTY"...)
+		}
+		buf = append(buf, "POINT ("...)
+		buf = appendCoord(buf, t)
+		return append(buf, ')')
+	case LineString:
+		if t.IsEmpty() {
+			return append(buf, "LINESTRING EMPTY"...)
+		}
+		buf = append(buf, "LINESTRING "...)
+		return appendCoords(buf, t.Coords)
+	case Polygon:
+		if t.IsEmpty() {
+			return append(buf, "POLYGON EMPTY"...)
+		}
+		buf = append(buf, "POLYGON "...)
+		return appendPolyBody(buf, t)
+	default:
+		return append(buf, g.WKT()...)
+	}
 }
 
-func coordsWKT(cs []Point) string {
-	parts := make([]string, len(cs))
+func appendCoord(buf []byte, p Point) []byte {
+	buf = strconv.AppendFloat(buf, p.X, 'g', -1, 64)
+	buf = append(buf, ' ')
+	return strconv.AppendFloat(buf, p.Y, 'g', -1, 64)
+}
+
+func appendCoords(buf []byte, cs []Point) []byte {
+	buf = append(buf, '(')
 	for i, c := range cs {
-		parts[i] = coordWKT(c)
+		if i > 0 {
+			buf = append(buf, ", "...)
+		}
+		buf = appendCoord(buf, c)
 	}
-	return "(" + strings.Join(parts, ", ") + ")"
+	return append(buf, ')')
 }
 
-func polyBodyWKT(p Polygon) string {
-	parts := make([]string, 0, 1+len(p.Holes))
-	parts = append(parts, coordsWKT(p.Exterior.Coords))
+func appendPolyBody(buf []byte, p Polygon) []byte {
+	buf = append(buf, '(')
+	buf = appendCoords(buf, p.Exterior.Coords)
 	for _, h := range p.Holes {
-		parts = append(parts, coordsWKT(h.Coords))
+		buf = append(buf, ", "...)
+		buf = appendCoords(buf, h.Coords)
 	}
-	return "(" + strings.Join(parts, ", ") + ")"
+	return append(buf, ')')
 }
 
 func fmtFloat(f float64) string {
@@ -377,7 +431,9 @@ func (p *wktParser) coordList() ([]Point, error) {
 	if err := p.expect('('); err != nil {
 		return nil, err
 	}
-	var cs []Point
+	// Rectangle footprints (5 coords) dominate the catalogue: start with
+	// capacity for them so the common ring parses in one allocation.
+	cs := make([]Point, 0, 8)
 	for {
 		c, err := p.coord()
 		if err != nil {
@@ -398,7 +454,9 @@ func (p *wktParser) polygonBody() (Polygon, error) {
 	if err := p.expect('('); err != nil {
 		return Polygon{}, err
 	}
-	var rings []Ring
+	var exterior Ring
+	var holes []Ring
+	first := true
 	for {
 		cs, err := p.coordList()
 		if err != nil {
@@ -410,7 +468,12 @@ func (p *wktParser) polygonBody() (Polygon, error) {
 		if !cs[0].Equal(cs[len(cs)-1]) {
 			return Polygon{}, p.errf("polygon ring is not closed")
 		}
-		rings = append(rings, Ring{Coords: cs})
+		if first {
+			exterior = Ring{Coords: cs}
+			first = false
+		} else {
+			holes = append(holes, Ring{Coords: cs})
+		}
 		if !p.tryByte(',') {
 			break
 		}
@@ -418,5 +481,5 @@ func (p *wktParser) polygonBody() (Polygon, error) {
 	if err := p.expect(')'); err != nil {
 		return Polygon{}, err
 	}
-	return NewPolygon(rings[0], rings[1:]...), nil
+	return NewPolygon(exterior, holes...), nil
 }

@@ -102,18 +102,32 @@ func Georeference(img *array.Array, src raster.GeoRef, dst raster.GeoRef, dstH, 
 		array.Dim{Name: "y", Size: dstH},
 		array.Dim{Name: "x", Size: dstW})
 	h, w := img.Height(), img.Width()
-	for y := 0; y < dstH; y++ {
-		for x := 0; x < dstW; x++ {
-			p := dst.PixelToLonLat(y, x)
-			r, c := src.LonLatToPixel(p)
-			if r < 0 || r >= h || c < 0 || c >= w {
-				if err := out.SetNull(y, x); err != nil {
-					return nil, err
+	// Rows resample tile-parallel; the null mask is preallocated so the
+	// workers never race on its lazy construction, and dropped again when
+	// every destination cell found a source.
+	out.Null = make([]bool, len(out.Data))
+	array.ParallelRange(dstH, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < dstW; x++ {
+				p := dst.PixelToLonLat(y, x)
+				r, c := src.LonLatToPixel(p)
+				if r < 0 || r >= h || c < 0 || c >= w {
+					out.Null[y*dstW+x] = true
+					continue
 				}
-				continue
+				out.Data[y*dstW+x] = img.Data[r*w+c]
 			}
-			out.Set2(y, x, img.At2(r, c))
 		}
+	})
+	anyNull := false
+	for _, isNull := range out.Null {
+		if isNull {
+			anyNull = true
+			break
+		}
+	}
+	if !anyNull {
+		out.Null = nil
 	}
 	return out, nil
 }
@@ -135,15 +149,21 @@ type PatchFeatures struct {
 
 // Vector flattens the features for distance computations.
 func (p PatchFeatures) Vector() []float64 {
-	out := []float64{p.Mean, p.StdDev, p.Min, p.Max, p.Texture}
-	for _, h := range p.Histogram {
-		out = append(out, h)
-	}
-	return out
+	return p.AppendVector(nil)
+}
+
+// AppendVector appends the feature layout to buf — the allocation-free
+// form of Vector for per-worker buffer reuse. The layout (mean, stddev,
+// min, max, texture, 8 histogram bins) is defined only here.
+func (p PatchFeatures) AppendVector(buf []float64) []float64 {
+	buf = append(buf, p.Mean, p.StdDev, p.Min, p.Max, p.Texture)
+	return append(buf, p.Histogram[:]...)
 }
 
 // ExtractPatches cuts a rank-2 image into size x size patches and computes
-// the feature vector of each. Partial border patches are included.
+// the feature vector of each. Partial border patches are included. Patch
+// rows are processed tile-parallel on the shared worker pool; the output
+// order (row-major over the patch grid) is unchanged.
 func ExtractPatches(img *array.Array, size int) ([]PatchFeatures, error) {
 	if len(img.Dims) != 2 {
 		return nil, fmt.Errorf("ingest: patch extraction needs a rank-2 image")
@@ -152,68 +172,122 @@ func ExtractPatches(img *array.Array, size int) ([]PatchFeatures, error) {
 		return nil, fmt.Errorf("ingest: patch size must be positive")
 	}
 	h, w := img.Height(), img.Width()
-	stats := img.Summarize()
-	lo, hi := stats.Min, stats.Max
+	lo, hi, _ := img.MinMax()
 	if hi <= lo {
 		hi = lo + 1
 	}
-	var out []PatchFeatures
-	for py := 0; py*size < h; py++ {
-		for px := 0; px*size < w; px++ {
-			pf := PatchFeatures{Row: py, Col: px}
-			var sum, sumSq, tex float64
-			var n, tn int
-			min, max := 1e308, -1e308
-			for y := py * size; y < (py+1)*size && y < h; y++ {
-				for x := px * size; x < (px+1)*size && x < w; x++ {
-					if img.IsNull(y*w + x) {
+	binScale := 8 / (hi - lo)
+	rows := (h + size - 1) / size
+	cols := (w + size - 1) / size
+	grid := make([]PatchFeatures, rows*cols)
+	valid := make([]bool, rows*cols)
+	array.ParallelRange(rows, func(py0, py1 int) {
+		for py := py0; py < py1; py++ {
+			for px := 0; px < cols; px++ {
+				pf := PatchFeatures{Row: py, Col: px}
+				var sum, sumSq, tex float64
+				var n, tn int
+				min, max := 1e308, -1e308
+				yEnd := (py + 1) * size
+				if yEnd > h {
+					yEnd = h
+				}
+				xStart := px * size
+				xEnd := xStart + size
+				if xEnd > w {
+					xEnd = w
+				}
+				for y := py * size; y < yEnd; y++ {
+					seg := img.Data[y*w+xStart : y*w+xEnd]
+					if img.Null == nil {
+						for i, v := range seg {
+							sum += v
+							sumSq += v * v
+							if v < min {
+								min = v
+							}
+							if v > max {
+								max = v
+							}
+							bin := int((v - lo) * binScale)
+							if uint(bin) > 7 {
+								if bin < 0 {
+									bin = 0
+								} else {
+									bin = 7
+								}
+							}
+							pf.Histogram[bin]++
+							if i+1 < len(seg) {
+								d := seg[i+1] - v
+								if d < 0 {
+									d = -d
+								}
+								tex += d
+							}
+						}
+						n += len(seg)
+						tn += len(seg) - 1
 						continue
 					}
-					v := img.At2(y, x)
-					sum += v
-					sumSq += v * v
-					n++
-					if v < min {
-						min = v
-					}
-					if v > max {
-						max = v
-					}
-					bin := int((v - lo) / (hi - lo) * 8)
-					if bin > 7 {
-						bin = 7
-					}
-					if bin < 0 {
-						bin = 0
-					}
-					pf.Histogram[bin]++
-					if x+1 < w && x+1 < (px+1)*size && !img.IsNull(y*w+x+1) {
-						d := img.At2(y, x+1) - v
-						if d < 0 {
-							d = -d
+					nulls := img.Null[y*w+xStart : y*w+xEnd]
+					for i, v := range seg {
+						if nulls[i] {
+							continue
 						}
-						tex += d
-						tn++
+						sum += v
+						sumSq += v * v
+						n++
+						if v < min {
+							min = v
+						}
+						if v > max {
+							max = v
+						}
+						bin := int((v - lo) * binScale)
+						if uint(bin) > 7 {
+							if bin < 0 {
+								bin = 0
+							} else {
+								bin = 7
+							}
+						}
+						pf.Histogram[bin]++
+						if i+1 < len(seg) && !nulls[i+1] {
+							d := seg[i+1] - v
+							if d < 0 {
+								d = -d
+							}
+							tex += d
+							tn++
+						}
 					}
 				}
+				if n == 0 {
+					continue
+				}
+				pf.Mean = sum / float64(n)
+				variance := sumSq/float64(n) - pf.Mean*pf.Mean
+				if variance < 0 {
+					variance = 0
+				}
+				pf.StdDev = math.Sqrt(variance)
+				pf.Min, pf.Max = min, max
+				if tn > 0 {
+					pf.Texture = tex / float64(tn)
+				}
+				for i := range pf.Histogram {
+					pf.Histogram[i] /= float64(n)
+				}
+				grid[py*cols+px] = pf
+				valid[py*cols+px] = true
 			}
-			if n == 0 {
-				continue
-			}
-			pf.Mean = sum / float64(n)
-			variance := sumSq/float64(n) - pf.Mean*pf.Mean
-			if variance < 0 {
-				variance = 0
-			}
-			pf.StdDev = math.Sqrt(variance)
-			pf.Min, pf.Max = min, max
-			if tn > 0 {
-				pf.Texture = tex / float64(tn)
-			}
-			for i := range pf.Histogram {
-				pf.Histogram[i] /= float64(n)
-			}
-			out = append(out, pf)
+		}
+	})
+	out := make([]PatchFeatures, 0, rows*cols)
+	for i, ok := range valid {
+		if ok {
+			out = append(out, grid[i])
 		}
 	}
 	return out, nil

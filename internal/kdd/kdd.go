@@ -8,7 +8,7 @@ package kdd
 import (
 	"fmt"
 	"math"
-	"sort"
+	"strconv"
 
 	"repro/internal/array"
 	"repro/internal/geo"
@@ -93,38 +93,72 @@ func (c *KNNClassifier) Train(examples ...Example) {
 func (c *KNNClassifier) Len() int { return len(c.examples) }
 
 // Classify returns the majority concept among the k nearest examples and
-// the fraction of votes it received.
+// the fraction of votes it received. It runs a bounded k-best selection
+// over the examples — no full sort, no per-call allocation — so the
+// patch annotation fan-out can call it from every worker.
 func (c *KNNClassifier) Classify(features []float64) (string, float64, error) {
 	if len(c.examples) == 0 {
 		return "", 0, fmt.Errorf("kdd: classifier has no training examples")
 	}
-	type scored struct {
-		d       float64
-		concept string
-	}
-	ds := make([]scored, 0, len(c.examples))
-	for _, ex := range c.examples {
-		ds = append(ds, scored{d: euclidean(features, ex.Features), concept: ex.Concept})
-	}
-	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
 	k := c.K
-	if k > len(ds) {
-		k = len(ds)
+	if k > len(c.examples) {
+		k = len(c.examples)
 	}
-	votes := map[string]int{}
-	for _, s := range ds[:k] {
-		votes[s.concept]++
+	if k <= 0 {
+		// A directly-constructed classifier can carry K <= 0; the legacy
+		// sort-based selection degraded to zero votes ("", NaN).
+		return "", math.NaN(), nil
 	}
+	const maxStack = 16
+	var distBuf [maxStack]float64
+	var conceptBuf [maxStack]string
+	dist, concept := distBuf[:0], conceptBuf[:0]
+	if k > maxStack {
+		dist = make([]float64, 0, k)
+		concept = make([]string, 0, k)
+	}
+	// Insertion keeps the list ascending; ties keep the earlier example
+	// (stable in training order).
+	for _, ex := range c.examples {
+		d := euclidean(features, ex.Features)
+		if len(dist) == k && d >= dist[k-1] {
+			continue
+		}
+		pos := len(dist)
+		if len(dist) < k {
+			dist = append(dist, 0)
+			concept = append(concept, "")
+		} else {
+			pos = k - 1
+		}
+		for pos > 0 && dist[pos-1] > d {
+			dist[pos], concept[pos] = dist[pos-1], concept[pos-1]
+			pos--
+		}
+		dist[pos], concept[pos] = d, ex.Concept
+	}
+	// Majority vote; ties resolve to the lexicographically smallest
+	// concept IRI, the legacy tie-break.
 	best, bestN := "", 0
-	// Deterministic tie-break by concept IRI.
-	concepts := make([]string, 0, len(votes))
-	for concept := range votes {
-		concepts = append(concepts, concept)
-	}
-	sort.Strings(concepts)
-	for _, concept := range concepts {
-		if votes[concept] > bestN {
-			best, bestN = concept, votes[concept]
+	for i, ci := range concept {
+		seen := false
+		for _, cj := range concept[:i] {
+			if cj == ci {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		n := 0
+		for _, cj := range concept {
+			if cj == ci {
+				n++
+			}
+		}
+		if n > bestN || n == bestN && ci < best {
+			best, bestN = ci, n
 		}
 	}
 	return best, float64(bestN) / float64(k), nil
@@ -168,7 +202,13 @@ type Annotation struct {
 // Triples serialises the annotation as stRDF (one blank-node-free
 // annotation resource per region).
 func (a Annotation) Triples(seq int) []rdf.Triple {
-	ann := rdf.IRI(fmt.Sprintf("%sannotation/%s/%d", ontology.NOA, hashName(a.Product), seq))
+	buf := make([]byte, 0, len(ontology.NOA)+40)
+	buf = append(buf, ontology.NOA...)
+	buf = append(buf, "annotation/"...)
+	buf = strconv.AppendUint(buf, hashName(a.Product), 16)
+	buf = append(buf, '/')
+	buf = strconv.AppendInt(buf, int64(seq), 10)
+	ann := rdf.IRI(string(buf))
 	return []rdf.Triple{
 		rdf.NewTriple(rdf.IRI(a.Product), rdf.IRI(PropAnnotated), ann),
 		rdf.NewTriple(ann, rdf.IRI(PropConcept), rdf.IRI(a.Concept)),
@@ -177,45 +217,64 @@ func (a Annotation) Triples(seq int) []rdf.Triple {
 	}
 }
 
-func hashName(s string) string {
+func hashName(s string) uint64 {
 	var h uint64 = 1469598103934665603
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
 		h *= 1099511628211
 	}
-	return fmt.Sprintf("%x", h)
+	return h
 }
 
 // AnnotatePatches classifies every patch of a band with the kNN model and
 // emits annotations whose regions are the patch ground footprints. Patches
-// with vote share below minConfidence are skipped.
+// with vote share below minConfidence are skipped. Classification fans
+// out over the shared tile worker pool (the model is read-only), with
+// output order preserved.
 func AnnotatePatches(productIRI string, img *array.Array, gr raster.GeoRef, patchSize int,
 	model *KNNClassifier, minConfidence float64) ([]Annotation, error) {
 	patches, err := ingest.ExtractPatches(img, patchSize)
 	if err != nil {
 		return nil, err
 	}
-	var out []Annotation
-	for _, p := range patches {
-		concept, conf, err := model.Classify(p.Vector())
+	results := make([]Annotation, len(patches))
+	keep := make([]bool, len(patches))
+	errs := make([]error, len(patches))
+	array.ParallelRange(len(patches), func(lo, hi int) {
+		var feat [13]float64
+		for i := lo; i < hi; i++ {
+			p := patches[i]
+			concept, conf, err := model.Classify(p.AppendVector(feat[:0]))
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			if conf < minConfidence {
+				continue
+			}
+			y0 := p.Row * patchSize
+			x0 := p.Col * patchSize
+			tl := gr.PixelEnvelope(y0, x0)
+			br := gr.PixelEnvelope(y0+patchSize-1, x0+patchSize-1)
+			results[i] = Annotation{
+				Product:    productIRI,
+				Concept:    concept,
+				Confidence: conf,
+				Region:     tl.Extend(br).ToPolygon(),
+			}
+			keep[i] = true
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		if conf < minConfidence {
-			continue
+	}
+	out := make([]Annotation, 0, len(patches))
+	for i, k := range keep {
+		if k {
+			out = append(out, results[i])
 		}
-		y0 := p.Row * patchSize
-		x0 := p.Col * patchSize
-		y1 := y0 + patchSize - 1
-		x1 := x0 + patchSize - 1
-		tl := gr.PixelFootprint(y0, x0).Envelope()
-		br := gr.PixelFootprint(y1, x1).Envelope()
-		out = append(out, Annotation{
-			Product:    productIRI,
-			Concept:    concept,
-			Confidence: conf,
-			Region:     tl.Extend(br).ToPolygon(),
-		})
 	}
 	return out, nil
 }

@@ -150,25 +150,39 @@ func (c Chain) vectorize(frameID string, ts time.Time, sensor string,
 	if minPix < 1 {
 		minPix = 1
 	}
-	var out []Hotspot
-	for _, comp := range comps {
-		if comp.Size() < minPix {
-			continue
+	// Components dissolve independently (confidence sum + boundary
+	// trace), so they fan out over the shared tile worker pool; the
+	// result order is fixed by the sort below either way.
+	results := make([]Hotspot, len(comps))
+	keep := make([]bool, len(comps))
+	array.ParallelRange(len(comps), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			comp := comps[i]
+			if comp.Size() < minPix {
+				continue
+			}
+			var confSum float64
+			for _, cell := range comp.Cells {
+				confSum += c.Classifier.Confidence(ir39.At2(cell[0], cell[1]), ir108.At2(cell[0], cell[1]))
+			}
+			geom := geo.Geometry(traceComponent(comp, gr))
+			results[i] = Hotspot{
+				ID:         fmt.Sprintf("%s/hs%d", frameID, comp.Label),
+				FrameID:    frameID,
+				Time:       ts,
+				Geometry:   geom,
+				Confidence: confSum / float64(comp.Size()),
+				Sensor:     sensor,
+				PixelCount: comp.Size(),
+			}
+			keep[i] = true
 		}
-		var confSum float64
-		for _, cell := range comp.Cells {
-			confSum += c.Classifier.Confidence(ir39.At2(cell[0], cell[1]), ir108.At2(cell[0], cell[1]))
+	})
+	out := make([]Hotspot, 0, len(comps))
+	for i, k := range keep {
+		if k {
+			out = append(out, results[i])
 		}
-		geom := geo.Geometry(traceComponent(comp, gr))
-		out = append(out, Hotspot{
-			ID:         fmt.Sprintf("%s/hs%d", frameID, comp.Label),
-			FrameID:    frameID,
-			Time:       ts,
-			Geometry:   geom,
-			Confidence: confSum / float64(comp.Size()),
-			Sensor:     sensor,
-			PixelCount: comp.Size(),
-		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil

@@ -59,6 +59,14 @@ func (g GeoRef) PixelFootprint(row, col int) geo.Polygon {
 	return geo.Rect(x0, y1-g.DY, x0+g.DX, y1)
 }
 
+// PixelEnvelope is PixelFootprint's bounding box without materialising
+// the polygon (the annotation fan-out calls this per patch corner).
+func (g GeoRef) PixelEnvelope(row, col int) geo.Envelope {
+	x0 := g.OriginX + float64(col)*g.DX
+	y1 := g.OriginY - float64(row)*g.DY
+	return geo.Envelope{MinX: x0, MinY: y1 - g.DY, MaxX: x0 + g.DX, MaxY: y1}
+}
+
 // Frame is one acquisition: a set of co-registered bands plus metadata.
 type Frame struct {
 	// ID is the product identifier (e.g. "MSG2-20070825-1200").

@@ -19,11 +19,12 @@ type Dictionary struct {
 	spatial map[uint64]struct{}
 }
 
-// NewDictionary returns an empty dictionary.
+// NewDictionary returns an empty dictionary. The term map is presized
+// for a small catalogue so bulk encoding does not rehash from zero.
 func NewDictionary() *Dictionary {
 	return &Dictionary{
-		byTerm:  make(map[Term]uint64),
-		spatial: make(map[uint64]struct{}),
+		byTerm:  make(map[Term]uint64, 512),
+		spatial: make(map[uint64]struct{}, 64),
 	}
 }
 

@@ -5,7 +5,7 @@
 package rdf
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -77,17 +77,17 @@ func LangLiteral(lex, lang string) Term {
 
 // IntegerLiteral returns an xsd:integer literal.
 func IntegerLiteral(v int64) Term {
-	return TypedLiteral(fmt.Sprintf("%d", v), XSDInteger)
+	return TypedLiteral(strconv.FormatInt(v, 10), XSDInteger)
 }
 
 // DoubleLiteral returns an xsd:double literal.
 func DoubleLiteral(v float64) Term {
-	return TypedLiteral(fmt.Sprintf("%g", v), XSDDouble)
+	return TypedLiteral(strconv.FormatFloat(v, 'g', -1, 64), XSDDouble)
 }
 
 // BooleanLiteral returns an xsd:boolean literal.
 func BooleanLiteral(v bool) Term {
-	return TypedLiteral(fmt.Sprintf("%t", v), XSDBoolean)
+	return TypedLiteral(strconv.FormatBool(v), XSDBoolean)
 }
 
 // WKTLiteral returns an stRDF WKT spatial literal. An optional SRID is
@@ -95,7 +95,10 @@ func BooleanLiteral(v bool) Term {
 // "POINT(1 2);4326"); srid 0 means the stRDF default (WGS84).
 func WKTLiteral(wkt string, srid int) Term {
 	if srid != 0 {
-		wkt = wkt + ";" + fmt.Sprintf("%d", srid)
+		buf := make([]byte, 0, len(wkt)+8)
+		buf = append(buf, wkt...)
+		buf = append(buf, ';')
+		wkt = string(strconv.AppendInt(buf, int64(srid), 10))
 	}
 	return TypedLiteral(wkt, StRDFWKT)
 }

@@ -41,13 +41,25 @@ type Engine struct {
 	mu     sync.RWMutex
 	tables map[string]*column.Table
 	arrays map[string]*ArrayObject
+
+	// DisableVectorized forces the legacy tuple-at-a-time interpreter
+	// instead of the columnar kernel executor (vexec.go) — the ablation
+	// baseline, also reachable via `teleios-server -legacy-sciql` and
+	// `sciql-shell -legacy`.
+	DisableVectorized bool
 }
+
+// DefaultDisableVectorized is the DisableVectorized value NewEngine
+// installs on new engines; command-line front ends set it from their
+// -legacy-sciql flags so every engine built in-process follows suit.
+var DefaultDisableVectorized bool
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
 	return &Engine{
-		tables: map[string]*column.Table{},
-		arrays: map[string]*ArrayObject{},
+		tables:            map[string]*column.Table{},
+		arrays:            map[string]*ArrayObject{},
+		DisableVectorized: DefaultDisableVectorized,
 	}
 }
 
@@ -373,6 +385,11 @@ func (ev *env) lookup(table, name string) (any, bool, error) {
 }
 
 func (e *Engine) execSelect(s *SelectStmt) (*column.Table, error) {
+	if !e.DisableVectorized {
+		if t, ok, err := e.vexecSelect(s); ok {
+			return t, err
+		}
+	}
 	// Resolve sources.
 	rels := make([]*relation, len(s.From))
 	for i, ref := range s.From {
@@ -444,12 +461,8 @@ func (e *Engine) execSelect(s *SelectStmt) (*column.Table, error) {
 			return nil, err
 		}
 	}
-	if s.Limit >= 0 && out.NumRows() > s.Limit {
-		pos := make([]int, s.Limit)
-		for i := range pos {
-			pos[i] = i
-		}
-		out = out.Gather(pos)
+	if s.Limit >= 0 {
+		out = out.Head(s.Limit)
 	}
 	return out, nil
 }
@@ -486,13 +499,15 @@ func joinRows(rels []*relation, where Expr) ([][]int, Expr, error) {
 			return combos, andAll(rest), nil
 		}
 	}
-	// Nested loop cross product (guard against blow-ups).
+	// Nested loop cross product (guard against blow-ups). The bound is
+	// checked by division before each multiply so oversized products are
+	// rejected instead of wrapping int.
 	total := 1
 	for _, r := range rels {
-		total *= r.rows
-		if total > 50_000_000 {
-			return nil, nil, fmt.Errorf("sciql: cross product too large (%d+ rows); add an equality join predicate", total)
+		if r.rows != 0 && total > 50_000_000/r.rows {
+			return nil, nil, fmt.Errorf("sciql: cross product too large (%d relations, over 50M rows); add an equality join predicate", len(rels))
 		}
+		total *= r.rows
 	}
 	combos := make([][]int, 0, total)
 	cur := make([]int, len(rels))
@@ -1041,6 +1056,11 @@ func compareValues(a, b any) int {
 }
 
 func (e *Engine) execUpdate(s *UpdateStmt) (*Result, error) {
+	if !e.DisableVectorized {
+		if r, ok, err := e.vexecUpdate(s); ok {
+			return r, err
+		}
+	}
 	e.mu.RLock()
 	tbl, isTable := e.tables[s.Target]
 	arr, isArray := e.arrays[s.Target]
@@ -1124,6 +1144,11 @@ func (e *Engine) updateArray(a *ArrayObject, s *UpdateStmt) (*Result, error) {
 // execDelete removes matching rows from a table (arrays are dense; use
 // UPDATE ... SET v = NULL to blank array cells instead).
 func (e *Engine) execDelete(s *DeleteStmt) (*Result, error) {
+	if !e.DisableVectorized {
+		if r, ok, err := e.vexecDelete(s); ok {
+			return r, err
+		}
+	}
 	e.mu.RLock()
 	_, isArray := e.arrays[s.Table]
 	t, isTable := e.tables[s.Table]

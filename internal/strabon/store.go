@@ -34,8 +34,16 @@ type Store struct {
 	present map[[3]uint64]int
 	deleted int
 	// Spatial side: geometry cache and R-tree over spatial literal ids.
-	geoms   map[uint64]strdf.SpatialValue
-	spatial *rtree.Tree
+	// The tree is built lazily: ingest only records geometries and marks
+	// the tree stale, and the first spatial lookup STR-bulk-loads it —
+	// pure ingest workloads (the Figure 1 pipeline) never pay for
+	// incremental quadratic-split inserts.
+	geoms        map[uint64]strdf.SpatialValue
+	spatial      *rtree.Tree
+	spatialStale bool
+	// postArena is the slab fresh posting lists are carved from, so a
+	// bulk load of mostly-new terms does not allocate per term.
+	postArena []int
 	// useSpatialIndex can be disabled for the A1 ablation.
 	useSpatialIndex bool
 	// version counts successful mutations; readers (e.g. the endpoint's
@@ -48,16 +56,40 @@ type Store struct {
 
 // NewStore returns an empty store with the spatial index enabled.
 func NewStore() *Store {
+	// Index maps are presized for a small catalogue so the first few
+	// thousand inserts do not spend their time rehashing.
 	return &Store{
 		dict:            rdf.NewDictionary(),
-		byS:             map[uint64][]int{},
-		byP:             map[uint64][]int{},
-		byO:             map[uint64][]int{},
-		present:         map[[3]uint64]int{},
-		geoms:           map[uint64]strdf.SpatialValue{},
+		byS:             make(map[uint64][]int, 256),
+		byP:             make(map[uint64][]int, 32),
+		byO:             make(map[uint64][]int, 256),
+		present:         make(map[[3]uint64]int, 512),
+		geoms:           make(map[uint64]strdf.SpatialValue, 64),
 		spatial:         rtree.NewTree(0),
 		useSpatialIndex: true,
 	}
+}
+
+// newPosting carves a fresh single-row posting list from the shared
+// arena; lists that outgrow the carved capacity migrate to ordinary
+// append growth.
+func (st *Store) newPosting(row int) []int {
+	const chunk = 4
+	if len(st.postArena)+chunk > cap(st.postArena) {
+		st.postArena = make([]int, 0, 8192)
+	}
+	n := len(st.postArena)
+	p := st.postArena[n : n : n+chunk]
+	st.postArena = st.postArena[:n+chunk]
+	return append(p, row)
+}
+
+// appendPosting extends a posting list, routing new lists to the arena.
+func (st *Store) appendPosting(rows []int, row int) []int {
+	if rows == nil {
+		return st.newPosting(row)
+	}
+	return append(rows, row)
 }
 
 // SetSpatialIndexEnabled toggles R-tree use in spatial lookups (the A1
@@ -108,9 +140,9 @@ func (st *Store) addLocked(t rdf.Triple) bool {
 	st.p = append(st.p, pID)
 	st.o = append(st.o, oID)
 	st.present[key] = row
-	st.byS[sID] = append(st.byS[sID], row)
-	st.byP[pID] = append(st.byP[pID], row)
-	st.byO[oID] = append(st.byO[oID], row)
+	st.byS[sID] = st.appendPosting(st.byS[sID], row)
+	st.byP[pID] = st.appendPosting(st.byP[pID], row)
+	st.byO[oID] = st.appendPosting(st.byO[oID], row)
 	if t.O.IsSpatial() {
 		if _, cached := st.geoms[oID]; !cached {
 			if v, err := strdf.ParseSpatial(t.O); err == nil {
@@ -118,11 +150,22 @@ func (st *Store) addLocked(t rdf.Triple) bool {
 					v = w
 				}
 				st.geoms[oID] = v
-				st.spatial.Insert(rtree.Item{Box: v.Geom.Envelope(), ID: oID})
+				st.spatialStale = true
 			}
 		}
 	}
 	return true
+}
+
+// rebuildSpatialLocked STR-bulk-loads the R-tree from the geometry
+// cache; callers hold the write lock.
+func (st *Store) rebuildSpatialLocked() {
+	items := make([]rtree.Item, 0, len(st.geoms))
+	for id, v := range st.geoms {
+		items = append(items, rtree.Item{Box: v.Geom.Envelope(), ID: id})
+	}
+	st.spatial = rtree.BulkLoad(items, 0)
+	st.spatialStale = false
 }
 
 // AddAll inserts a batch of triples under one write lock and reports how
@@ -291,6 +334,17 @@ func (st *Store) Geometry(id uint64) (strdf.SpatialValue, bool) {
 // every cached geometry (the ablation baseline).
 func (st *Store) SpatialCandidates(box geo.Envelope) []uint64 {
 	st.mu.RLock()
+	if st.useSpatialIndex && st.spatialStale {
+		// Upgrade to the write lock and build the tree; double-check
+		// staleness, another reader may have won the race.
+		st.mu.RUnlock()
+		st.mu.Lock()
+		if st.spatialStale {
+			st.rebuildSpatialLocked()
+		}
+		st.mu.Unlock()
+		st.mu.RLock()
+	}
 	defer st.mu.RUnlock()
 	if st.useSpatialIndex {
 		return st.spatial.Search(box, nil)
@@ -436,11 +490,7 @@ func (st *Store) pruneSpatialLocked() {
 	if !stale {
 		return
 	}
-	items := make([]rtree.Item, 0, len(st.geoms))
-	for id, v := range st.geoms {
-		items = append(items, rtree.Item{Box: v.Geom.Envelope(), ID: id})
-	}
-	st.spatial = rtree.BulkLoad(items, 0)
+	st.rebuildSpatialLocked()
 }
 
 // Persistence ----------------------------------------------------------------

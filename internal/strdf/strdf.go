@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/geo"
@@ -29,6 +30,19 @@ type SpatialValue struct {
 	SRID geo.SRID
 }
 
+// parseCache interns decoded spatial literals process-wide: the same
+// literal text re-ingested by any store (re-processed products, fresh
+// stores over shared linked data) decodes once. Geometries are treated
+// as immutable everywhere, so sharing the decoded value is safe. The
+// cache is dropped wholesale when it fills — cheap, and a full cache
+// means the workload's literal set fits comfortably anyway.
+var parseCache struct {
+	mu sync.RWMutex
+	m  map[string]SpatialValue
+}
+
+const parseCacheCap = 8192
+
 // ParseSpatial decodes an stRDF/GeoSPARQL spatial literal. The stRDF WKT
 // form is "<wkt>[;<srid>]"; the GeoSPARQL form uses a leading CRS IRI
 // "<http://www.opengis.net/def/crs/EPSG/0/4326> POINT(...)". Both are
@@ -37,6 +51,26 @@ func ParseSpatial(t rdf.Term) (SpatialValue, error) {
 	if !t.IsSpatial() {
 		return SpatialValue{}, fmt.Errorf("strdf: term %s is not a spatial literal", t)
 	}
+	parseCache.mu.RLock()
+	v, ok := parseCache.m[t.Value]
+	parseCache.mu.RUnlock()
+	if ok {
+		return v, nil
+	}
+	v, err := parseSpatialUncached(t)
+	if err != nil {
+		return SpatialValue{}, err
+	}
+	parseCache.mu.Lock()
+	if parseCache.m == nil || len(parseCache.m) >= parseCacheCap {
+		parseCache.m = make(map[string]SpatialValue, 256)
+	}
+	parseCache.m[t.Value] = v
+	parseCache.mu.Unlock()
+	return v, nil
+}
+
+func parseSpatialUncached(t rdf.Term) (SpatialValue, error) {
 	if t.Datatype == rdf.StRDFGML {
 		return SpatialValue{}, fmt.Errorf("strdf: GML literal decoding is not supported; use WKT")
 	}
@@ -71,12 +105,18 @@ func ParseSpatial(t rdf.Term) (SpatialValue, error) {
 	return SpatialValue{Geom: g, SRID: srid}, nil
 }
 
-// Literal encodes a geometry as an stRDF WKT literal term.
+// Literal encodes a geometry as an stRDF WKT literal term. The WKT text
+// and the ";<srid>" suffix build in one buffer (one string allocation —
+// this runs once per catalogue geometry).
 func Literal(g geo.Geometry, srid geo.SRID) rdf.Term {
 	if srid == 0 {
 		srid = geo.SRIDWGS84
 	}
-	return rdf.WKTLiteral(g.WKT(), int(srid))
+	buf := make([]byte, 0, 192)
+	buf = geo.AppendWKT(buf, g)
+	buf = append(buf, ';')
+	buf = strconv.AppendInt(buf, int64(srid), 10)
+	return rdf.TypedLiteral(string(buf), rdf.StRDFWKT)
 }
 
 // ToWGS84 reprojects a spatial value to WGS84.
