@@ -5,12 +5,15 @@ GO ?= go
 # The tier-1 benchmark set: the paper's three figures, two scenarios, the
 # flagship query and the design ablations (see bench_test.go), plus the
 # SciQL executor and parallel array-kernel benchmarks (internal/sciql,
-# internal/array) added in PR 3.
+# internal/array) added in PR 3, and the durability benchmarks
+# (internal/persist: WAL append, snapshot write/load vs the legacy
+# N-Triples path, WAL-replay recovery) added in PR 4.
 BENCH_TIER1 = BenchmarkFigure1Pipeline|BenchmarkFigure3CatalogueSearch|BenchmarkFlagshipQuery|BenchmarkOptimizerOrdering|BenchmarkAblationExecutor|BenchmarkAblationSpatialIndex
 BENCH_SCIQL = BenchmarkSelectFilter|BenchmarkGroupByAggregate|BenchmarkArrayUpdateClassify|BenchmarkAlignedArrayJoin|BenchmarkDimensionPushdownCrop|BenchmarkAblationSciQLExecutor
 BENCH_ARRAY = BenchmarkConvolve2D|BenchmarkResampleBilinear|BenchmarkTileAvg|BenchmarkConnectedComponents|BenchmarkSummarize|BenchmarkAblationParallelKernels
+BENCH_PERSIST = BenchmarkWALAppend|BenchmarkWALAppendBatch|BenchmarkWALAppendSynced|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad|BenchmarkNTriplesLoad|BenchmarkRecoveryReplay
 
-.PHONY: all build test race vet bench bench-json clean
+.PHONY: all build test race vet bench bench-json crash-test clean
 
 all: vet build test
 
@@ -21,7 +24,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/endpoint/ ./internal/strabon/ ./internal/stsparql/ ./internal/sciql/ ./internal/array/
+	$(GO) test -race ./internal/endpoint/ ./internal/strabon/ ./internal/stsparql/ ./internal/sciql/ ./internal/array/ ./internal/persist/
+
+# crash-test SIGKILLs a loaded teleios-server mid-write and asserts the
+# durable data dir recovers every acknowledged update.
+crash-test:
+	bash scripts/crashtest.sh
 
 vet:
 	$(GO) vet ./...
@@ -32,12 +40,13 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_TIER1)' -benchmem . | tee bench.out
 	$(GO) test -run '^$$' -bench '$(BENCH_SCIQL)' -benchmem ./internal/sciql/ | tee -a bench.out
 	$(GO) test -run '^$$' -bench '$(BENCH_ARRAY)' -benchmem ./internal/array/ | tee -a bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_PERSIST)' -benchmem -short ./internal/persist/ | tee -a bench.out
 
 # bench-json converts the last bench run (or a fresh one) into the
 # machine-readable perf record.
 bench-json: bench
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR3.json
-	@echo wrote BENCH_PR3.json
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR4.json
+	@echo wrote BENCH_PR4.json
 
 clean:
 	rm -f bench.out

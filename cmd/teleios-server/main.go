@@ -4,20 +4,34 @@
 //
 // Usage:
 //
-//	teleios-server [-addr :8080] [-store DIR] [-nt FILE] [-linked]
+//	teleios-server [-addr :8080] [-data-dir DIR] [-store DIR] [-nt FILE]
+//	               [-linked] [-wal-sync always|none|DUR]
+//	               [-checkpoint-every DUR] [-checkpoint-bytes N]
 //	               [-cache N] [-max-concurrency N] [-timeout DUR]
 //	               [-readonly] [-save] [-legacy-eval] [-legacy-sciql]
 //
-// The dataset is assembled from any combination of a saved store
+// With -data-dir the store is durable: on boot the newest valid
+// snapshot in the directory is loaded and the write-ahead log replayed
+// past it, and afterwards every mutation — including INSERT/DELETE
+// through the endpoint — is journalled before it is applied, so the
+// database survives crashes and SIGKILL, not just graceful shutdown.
+// -wal-sync picks the fsync policy (always = every record, a duration =
+// periodic, none = leave it to the OS); -checkpoint-every /
+// -checkpoint-bytes bound how much WAL a restart replays.
+//
+// The dataset can be seeded from any combination of a legacy store
 // directory (-store, as written by Store.Save), an N-Triples file (-nt)
-// and the synthetic linked open data layers (-linked). With -save the
-// store — including any INSERT/DELETE applied through the endpoint — is
-// written back to the -store directory on graceful shutdown (SIGINT or
-// SIGTERM).
+// and the synthetic linked open data layers (-linked); with -data-dir
+// the seeds are journalled like any other write (and re-seeding on a
+// later boot is a no-op — duplicates are suppressed).
+//
+// -save (write legacy files back to -store on graceful shutdown) is
+// deprecated: it persists only on clean exit and keeps the slow
+// N-Triples format. Prefer -data-dir.
 //
 // Example:
 //
-//	teleios-server -linked -addr :8080 &
+//	teleios-server -linked -data-dir ./teleios-data -addr :8080 &
 //	curl 'http://localhost:8080/sparql?format=geojson' \
 //	  --data-urlencode 'query=PREFIX noa: <http://teleios.di.uoa.gr/noa#>
 //	    SELECT ?s ?geom WHERE { ?s noa:hasGeometry ?geom } LIMIT 5'
@@ -36,93 +50,208 @@ import (
 
 	"repro/internal/endpoint"
 	"repro/internal/linkeddata"
+	"repro/internal/persist"
 	"repro/internal/sciql"
 	"repro/internal/strabon"
 	"repro/internal/stsparql"
 )
 
+type serverConfig struct {
+	addr            string
+	dataDir         string
+	walSync         string
+	checkpointEvery time.Duration
+	checkpointBytes int64
+	storeDir        string
+	ntFile          string
+	linked          bool
+	cacheSize       int
+	maxConc         int
+	queueDepth      int
+	timeout         time.Duration
+	readonly        bool
+	save            bool
+	legacyEval      bool
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	storeDir := flag.String("store", "", "load a saved Strabon store directory (see -save)")
-	ntFile := flag.String("nt", "", "load an N-Triples file")
-	linked := flag.Bool("linked", false, "preload the synthetic linked open data")
-	cacheSize := flag.Int("cache", 128, "LRU result cache capacity in entries (negative disables)")
-	maxConc := flag.Int("max-concurrency", 8, "maximum concurrently evaluating queries")
-	queueDepth := flag.Int("queue", 0, "query queue depth (0 means 4*max-concurrency, negative for no queue)")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-query evaluation deadline")
-	readonly := flag.Bool("readonly", false, "reject UPDATE statements")
-	save := flag.Bool("save", false, "write the store back to -store on shutdown")
-	legacyEval := flag.Bool("legacy-eval", false, "use the legacy binding-at-a-time evaluator instead of the vectorized id-space executor")
+	var cfg serverConfig
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable data directory (WAL + snapshots; recovered on boot)")
+	flag.StringVar(&cfg.walSync, "wal-sync", "always", "WAL fsync policy: always, none, or an interval like 100ms")
+	flag.DurationVar(&cfg.checkpointEvery, "checkpoint-every", 5*time.Minute, "background checkpoint interval (0 disables the timer)")
+	flag.Int64Var(&cfg.checkpointBytes, "checkpoint-bytes", 64<<20, "background checkpoint WAL-size threshold in bytes (negative disables)")
+	flag.StringVar(&cfg.storeDir, "store", "", "load a legacy saved store directory (see -save; deprecated in favor of -data-dir)")
+	flag.StringVar(&cfg.ntFile, "nt", "", "load an N-Triples file")
+	flag.BoolVar(&cfg.linked, "linked", false, "preload the synthetic linked open data")
+	flag.IntVar(&cfg.cacheSize, "cache", 128, "LRU result cache capacity in entries (negative disables)")
+	flag.IntVar(&cfg.maxConc, "max-concurrency", 8, "maximum concurrently evaluating queries")
+	flag.IntVar(&cfg.queueDepth, "queue", 0, "query queue depth (0 means 4*max-concurrency, negative for no queue)")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-query evaluation deadline")
+	flag.BoolVar(&cfg.readonly, "readonly", false, "reject UPDATE statements")
+	flag.BoolVar(&cfg.save, "save", false, "deprecated: write the store back to -store on graceful shutdown (prefer -data-dir)")
+	flag.BoolVar(&cfg.legacyEval, "legacy-eval", false, "use the legacy binding-at-a-time evaluator instead of the vectorized id-space executor")
 	legacySciQL := flag.Bool("legacy-sciql", false, "use the legacy tuple-at-a-time SciQL interpreter instead of the columnar kernel executor (applies to every SciQL engine in this process)")
 	flag.Parse()
 
 	sciql.DefaultDisableVectorized = *legacySciQL
 
-	if err := run(*addr, *storeDir, *ntFile, *linked, *cacheSize, *maxConc, *queueDepth, *timeout, *readonly, *save, *legacyEval); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "teleios-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir, ntFile string, linked bool, cacheSize, maxConc, queueDepth int, timeout time.Duration, readonly, save, legacyEval bool) error {
-	if save && storeDir == "" {
+// parseWALSync maps the -wal-sync flag onto a persist sync policy.
+func parseWALSync(s string) (persist.SyncMode, time.Duration, error) {
+	switch s {
+	case "always", "":
+		return persist.SyncAlways, 0, nil
+	case "none":
+		return persist.SyncNone, 0, nil
+	default:
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			return 0, 0, fmt.Errorf("-wal-sync must be always, none, or a positive duration (got %q)", s)
+		}
+		return persist.SyncInterval, d, nil
+	}
+}
+
+func run(cfg serverConfig) error {
+	if cfg.save && cfg.storeDir == "" {
 		return errors.New("-save requires -store")
 	}
+	if cfg.save {
+		fmt.Fprintln(os.Stderr, "teleios-server: warning: -save is deprecated; use -data-dir for crash-safe persistence")
+	}
 
-	st := strabon.NewStore()
-	if storeDir != "" {
+	// Durable path: recover the store from the data directory and keep
+	// journalling through it. The in-memory path (no -data-dir) starts
+	// empty.
+	var (
+		st      *strabon.Store
+		manager *persist.Manager
+	)
+	if cfg.dataDir != "" {
+		mode, every, err := parseWALSync(cfg.walSync)
+		if err != nil {
+			return err
+		}
+		recoverStart := time.Now()
+		m, recovered, err := persist.Open(persist.Options{
+			Dir:             cfg.dataDir,
+			SyncMode:        mode,
+			SyncEvery:       every,
+			CheckpointEvery: cfg.checkpointEvery,
+			CheckpointBytes: cfg.checkpointBytes,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "teleios-server: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("recovering data dir %s: %w", cfg.dataDir, err)
+		}
+		manager, st = m, recovered
+		defer manager.Close()
+		ps := manager.Stats()
+		fmt.Printf("teleios-server: recovered %d triples from %s in %s (%d WAL records replayed, wal-sync=%s)\n",
+			st.Len(), cfg.dataDir, time.Since(recoverStart).Round(time.Millisecond), ps.ReplayedRecords, mode)
+	} else {
+		st = strabon.NewStore()
+	}
+
+	// Seed sources. Under -data-dir these are journalled writes like any
+	// other, so they are durable and idempotent across restarts.
+	if cfg.storeDir != "" {
 		// Bootstrap (start empty, create the store on shutdown) only
 		// when the directory itself does not exist. A directory that
 		// exists but fails to load — even with a file-not-found from a
 		// half-written snapshot — must be an error: silently starting
 		// empty would overwrite whatever survives there on -save.
-		_, statErr := os.Stat(storeDir)
+		_, statErr := os.Stat(cfg.storeDir)
 		switch {
 		case statErr == nil:
-			loaded, err := strabon.Load(storeDir)
-			if err != nil {
-				return fmt.Errorf("loading store %s: %w", storeDir, err)
+			if cfg.dataDir != "" {
+				// Migration: merge the legacy store into the durable one.
+				legacy, err := strabon.Load(cfg.storeDir)
+				if err != nil {
+					return fmt.Errorf("loading store %s: %w", cfg.storeDir, err)
+				}
+				n := st.AddAll(legacy.Triples())
+				fmt.Printf("teleios-server: merged %d triples from legacy store %s\n", n, cfg.storeDir)
+			} else {
+				loaded, err := strabon.Load(cfg.storeDir)
+				if err != nil {
+					return fmt.Errorf("loading store %s: %w", cfg.storeDir, err)
+				}
+				st = loaded
 			}
-			st = loaded
-		case os.IsNotExist(statErr) && save:
+		case os.IsNotExist(statErr) && cfg.save:
 			// Fresh dataset bootstrap.
 		default:
-			return fmt.Errorf("store directory %s: %w", storeDir, statErr)
+			return fmt.Errorf("store directory %s: %w", cfg.storeDir, statErr)
 		}
 	}
-	if ntFile != "" {
-		f, err := os.Open(ntFile)
+	if cfg.ntFile != "" {
+		f, err := os.Open(cfg.ntFile)
 		if err != nil {
 			return err
 		}
 		n, err := st.LoadNTriples(f)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("loading %s: %w", ntFile, err)
+			return fmt.Errorf("loading %s: %w", cfg.ntFile, err)
 		}
-		fmt.Printf("teleios-server: loaded %d triples from %s\n", n, ntFile)
+		fmt.Printf("teleios-server: loaded %d triples from %s\n", n, cfg.ntFile)
 	}
-	if linked {
+	if cfg.linked {
 		st.AddAll(linkeddata.All())
+	}
+	if err := st.JournalErr(); err != nil {
+		return fmt.Errorf("journalling seed data: %w", err)
 	}
 
 	eng := stsparql.New(st)
-	eng.DisableVectorized = legacyEval
-	srv, err := endpoint.NewServer(endpoint.Config{
+	eng.DisableVectorized = cfg.legacyEval
+	epCfg := endpoint.Config{
 		Engine:         eng,
 		Store:          st,
-		MaxConcurrency: maxConc,
-		QueueDepth:     queueDepth,
-		QueryTimeout:   timeout,
-		CacheSize:      cacheSize,
-		ReadOnly:       readonly,
-	})
+		MaxConcurrency: cfg.maxConc,
+		QueueDepth:     cfg.queueDepth,
+		QueryTimeout:   cfg.timeout,
+		CacheSize:      cfg.cacheSize,
+		ReadOnly:       cfg.readonly,
+	}
+	if manager != nil {
+		epCfg.DurabilityStats = func() endpoint.DurabilityStats {
+			ps := manager.Stats()
+			ds := endpoint.DurabilityStats{
+				WALBytes:          ps.WALBytes,
+				WALSegments:       ps.WALSegments,
+				WALSeq:            ps.LastSeq,
+				Snapshots:         ps.Snapshots,
+				LastCheckpointSeq: ps.LastCheckpointSeq,
+				LastCheckpointMs:  ps.LastCheckpointTook.Milliseconds(),
+				RecoveryMs:        ps.RecoveryTook.Milliseconds(),
+				ReplayedRecords:   ps.ReplayedRecords,
+			}
+			if !ps.LastCheckpointAt.IsZero() {
+				ds.LastCheckpointUnixMs = ps.LastCheckpointAt.UnixMilli()
+			}
+			if ps.JournalErr != nil {
+				ds.JournalError = ps.JournalErr.Error()
+			}
+			return ds
+		}
+	}
+	srv, err := endpoint.NewServer(epCfg)
 	if err != nil {
 		return err
 	}
 
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -134,7 +263,7 @@ func run(addr, storeDir, ntFile string, linked bool, cacheSize, maxConc, queueDe
 	go func() {
 		stats := st.Stats()
 		fmt.Printf("teleios-server: listening on %s (%d triples, %d spatial literals)\n",
-			addr, stats.Triples, stats.SpatialLiterals)
+			cfg.addr, stats.Triples, stats.SpatialLiterals)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errCh <- err
 		}
@@ -153,15 +282,21 @@ func run(addr, storeDir, ntFile string, linked bool, cacheSize, maxConc, queueDe
 	shutErr := httpSrv.Shutdown(shutCtx)
 	// Drain the worker pool before snapshotting: an abandoned
 	// (timed-out) update may still be mutating the store after its HTTP
-	// connection is gone, and Save must not race it. This also means a
-	// Shutdown timeout cannot skip the save — updates already applied
-	// would be lost.
+	// connection is gone, and neither the legacy Save nor the final
+	// checkpoint may race it. This also means a Shutdown timeout cannot
+	// skip persistence — updates already applied would be lost.
 	srv.Close()
-	if save {
-		if err := st.Save(storeDir); err != nil {
+	if manager != nil {
+		if err := manager.Close(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		fmt.Printf("teleios-server: checkpointed to %s\n", cfg.dataDir)
+	}
+	if cfg.save {
+		if err := st.Save(cfg.storeDir); err != nil {
 			return fmt.Errorf("saving store: %w", err)
 		}
-		fmt.Printf("teleios-server: store saved to %s\n", storeDir)
+		fmt.Printf("teleios-server: store saved to %s\n", cfg.storeDir)
 	}
 	if shutErr != nil {
 		return fmt.Errorf("shutdown: %w", shutErr)

@@ -48,6 +48,12 @@ type QueryEngine interface {
 // handler can map it to a 500.
 var errEvalPanic = errors.New("endpoint: evaluation panicked")
 
+// errJournalVeto marks an update some part of which the store's
+// write-ahead journal refused to log (disk full, I/O error): the
+// refused mutations were not applied and, critically, were not made
+// durable, so the client must not receive a success.
+var errJournalVeto = errors.New("endpoint: update rejected by the write-ahead journal")
+
 // Config parameterises a Server. The zero value of each field selects a
 // sensible default (see the field comments).
 //
@@ -87,6 +93,25 @@ type Config struct {
 	ReadOnly bool
 	// MaxQueryBytes bounds the request query text (default 1 MiB).
 	MaxQueryBytes int64
+	// DurabilityStats, when set, supplies write-ahead-log and checkpoint
+	// telemetry for /stats (wired to persist.Manager.Stats by
+	// teleios-server; nil when the server runs without a data dir).
+	DurabilityStats func() DurabilityStats
+}
+
+// DurabilityStats is the persistence telemetry block exposed at /stats.
+type DurabilityStats struct {
+	Enabled              bool   `json:"enabled"`
+	WALBytes             int64  `json:"wal_bytes"`
+	WALSegments          int    `json:"wal_segments"`
+	WALSeq               uint64 `json:"wal_seq"`
+	Snapshots            int    `json:"snapshots"`
+	LastCheckpointSeq    uint64 `json:"last_checkpoint_seq"`
+	LastCheckpointUnixMs int64  `json:"last_checkpoint_unix_ms,omitempty"`
+	LastCheckpointMs     int64  `json:"last_checkpoint_ms,omitempty"`
+	RecoveryMs           int64  `json:"recovery_ms"`
+	ReplayedRecords      uint64 `json:"replayed_records"`
+	JournalError         string `json:"journal_error,omitempty"`
 }
 
 // Server is the stSPARQL protocol endpoint.
@@ -262,6 +287,13 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, errEvalPanic):
 		http.Error(w, "internal error evaluating the query", http.StatusInternalServerError)
 		return
+	case errors.Is(err, errJournalVeto):
+		// The WAL refused to log some of the update's mutations: they
+		// were neither applied nor made durable (earlier parts of a
+		// DELETE/INSERT may have been). Success would be a lie.
+		http.Error(w, "update could not be journalled to the write-ahead log and was not (fully) applied; see /stats",
+			http.StatusInternalServerError)
+		return
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		if update {
 			// The evaluator is not preemptible: a timed-out update may
@@ -343,10 +375,22 @@ func (s *Server) evaluate(ctx context.Context, src string, parsed *stsparql.Quer
 		if update {
 			s.updateMu.Lock()
 			defer s.updateMu.Unlock()
-		} else {
-			s.updateMu.RLock()
-			defer s.updateMu.RUnlock()
+			// Updates are serialised here, so a journal-veto count that
+			// moves across this evaluation can only mean parts of THIS
+			// update were refused by the WAL — it must not report
+			// success. (Reads never journal, so they skip the check.)
+			var vetoes uint64
+			if s.cfg.Store != nil {
+				vetoes = s.cfg.Store.JournalVetoes()
+			}
+			res, evalErr = s.cfg.Engine.Eval(parsed)
+			if evalErr == nil && s.cfg.Store != nil && s.cfg.Store.JournalVetoes() != vetoes {
+				evalErr = fmt.Errorf("%w: %v", errJournalVeto, s.cfg.Store.JournalErr())
+			}
+			return
 		}
+		s.updateMu.RLock()
+		defer s.updateMu.RUnlock()
 		res, evalErr = s.cfg.Engine.Eval(parsed)
 	}); err != nil {
 		return nil, err
@@ -390,10 +434,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store != nil {
 		st = s.cfg.Store.Stats()
 	}
+	var durability DurabilityStats
+	if s.cfg.DurabilityStats != nil {
+		durability = s.cfg.DurabilityStats()
+		durability.Enabled = true
+	}
 	json.NewEncoder(w).Encode(struct {
-		Store storeStats `json:"store"`
-		Cache CacheStats `json:"cache"`
-		Pool  PoolStats  `json:"pool"`
+		Store       storeStats      `json:"store"`
+		Cache       CacheStats      `json:"cache"`
+		Pool        PoolStats       `json:"pool"`
+		Persistence DurabilityStats `json:"persistence"`
 	}{
 		Store: storeStats{
 			Triples:         st.Triples,
@@ -401,8 +451,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			SpatialLiterals: st.SpatialLiterals,
 			Predicates:      st.Predicates,
 		},
-		Cache: s.cache.Stats(),
-		Pool:  s.pool.Stats(),
+		Cache:       s.cache.Stats(),
+		Pool:        s.pool.Stats(),
+		Persistence: durability,
 	})
 }
 

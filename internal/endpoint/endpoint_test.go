@@ -2,6 +2,7 @@ package endpoint
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -762,6 +763,86 @@ func TestHealthAndStats(t *testing.T) {
 	}
 	if err := json.Unmarshal(body, &stats); err != nil || stats.Store.Triples != 14 || stats.Pool.Workers != 8 {
 		t.Fatalf("stats = %s (err %v)", body, err)
+	}
+}
+
+// vetoJournal refuses every append after fail is set — the disk-full
+// case surfaced through the update path.
+type vetoJournal struct{ fail bool }
+
+func (j *vetoJournal) LogAdd([]rdf.Triple) error {
+	if j.fail {
+		return errors.New("no space left on device")
+	}
+	return nil
+}
+func (j *vetoJournal) LogRemove(rdf.Triple) error { return nil }
+func (j *vetoJournal) LogCompact() error          { return nil }
+
+// TestUpdateJournalVetoIs500: an update whose WAL append fails must not
+// be acknowledged with a 200 — the client would believe a write durable
+// that was neither applied nor logged.
+func TestUpdateJournalVetoIs500(t *testing.T) {
+	j := &vetoJournal{}
+	srv, ts := newTestServer(t, nil)
+	srv.cfg.Store.SetJournal(j)
+	post := func(update string) int {
+		resp, err := http.PostForm(ts.URL+"/sparql", url.Values{"update": {update}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	const ins = `INSERT DATA { <http://example.org/veto> a <http://example.org/Town> }`
+	if code := post(ins); code != http.StatusOK {
+		t.Fatalf("healthy journal: status %d", code)
+	}
+	j.fail = true
+	if code := post(`INSERT DATA { <http://example.org/veto2> a <http://example.org/Town> }`); code != http.StatusInternalServerError {
+		t.Fatalf("vetoed update: status %d, want 500", code)
+	}
+	// Reads keep working, and recovery of the journal restores 200s.
+	j.fail = false
+	if code := post(`INSERT DATA { <http://example.org/veto3> a <http://example.org/Town> }`); code != http.StatusOK {
+		t.Fatalf("recovered journal: status %d", code)
+	}
+}
+
+func TestStatsPersistenceBlock(t *testing.T) {
+	// Without a durability source the block reports enabled=false.
+	_, ts := newTestServer(t, nil)
+	var stats struct {
+		Persistence DurabilityStats `json:"persistence"`
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &stats); err != nil || stats.Persistence.Enabled {
+		t.Fatalf("stats without durability = %s (err %v)", body, err)
+	}
+	// With one, the wired telemetry comes through.
+	_, ts2 := newTestServer(t, func(c *Config) {
+		c.DurabilityStats = func() DurabilityStats {
+			return DurabilityStats{WALBytes: 1234, WALSeq: 42, Snapshots: 2, ReplayedRecords: 7}
+		}
+	})
+	resp, err = http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	p := stats.Persistence
+	if !p.Enabled || p.WALBytes != 1234 || p.WALSeq != 42 || p.Snapshots != 2 || p.ReplayedRecords != 7 {
+		t.Fatalf("persistence block = %+v (%s)", p, body)
 	}
 }
 

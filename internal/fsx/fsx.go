@@ -1,0 +1,62 @@
+// Package fsx holds the small filesystem primitives the persistence
+// layer is built on: crash-safe atomic file replacement and directory
+// fsync. They are separated out so both the legacy strabon.Store.Save
+// path and the internal/persist durability engine share one audited
+// implementation of the write-temp / fsync / rename dance.
+package fsx
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic replaces path with the bytes produced by write, such
+// that a crash at any point leaves either the old file or the new file —
+// never a torn mixture. The sequence is the standard one: write to
+// path+".tmp" in the same directory, flush and fsync the temp file,
+// rename over the target, then fsync the directory so the rename itself
+// is durable. On error the temp file is removed and the old file is
+// untouched.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory so that renames and creates inside it
+// survive power loss.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

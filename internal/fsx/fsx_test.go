@@ -1,0 +1,63 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	for _, content := range []string{"first", "second longer content"} {
+		if err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("read %q, want %q", got, content)
+		}
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after successful write")
+	}
+}
+
+// TestWriteFileAtomicFailureKeepsOld is the crash-injection regression
+// test: a writer that dies mid-stream must leave the previous file
+// byte-identical and no temp debris.
+func TestWriteFileAtomicFailureKeepsOld(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "precious original")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("simulated crash mid-write")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "half of the new cont") // partial write, then death
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	got, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if string(got) != "precious original" {
+		t.Fatalf("previous content destroyed: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after failed write")
+	}
+}

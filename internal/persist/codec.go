@@ -1,0 +1,79 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Binary term/triple codec shared by the WAL record bodies. Terms are
+// serialised structurally (kind byte + three length-prefixed strings),
+// not as N-Triples text, so literals with quotes, newlines or \u escapes
+// round-trip byte-exactly without an escaping layer.
+
+func appendString(b []byte, s string) []byte {
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(s)))
+	b = append(b, l[:]...)
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("persist: short string header")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint64(len(b)) < uint64(n) {
+		return "", nil, fmt.Errorf("persist: short string body (%d < %d)", len(b), n)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func appendTerm(b []byte, t rdf.Term) []byte {
+	b = append(b, byte(t.Kind))
+	b = appendString(b, t.Value)
+	b = appendString(b, t.Datatype)
+	return appendString(b, t.Lang)
+}
+
+func readTerm(b []byte) (rdf.Term, []byte, error) {
+	if len(b) < 1 {
+		return rdf.Term{}, nil, fmt.Errorf("persist: short term")
+	}
+	t := rdf.Term{Kind: rdf.TermKind(b[0])}
+	b = b[1:]
+	var err error
+	if t.Value, b, err = readString(b); err != nil {
+		return rdf.Term{}, nil, err
+	}
+	if t.Datatype, b, err = readString(b); err != nil {
+		return rdf.Term{}, nil, err
+	}
+	if t.Lang, b, err = readString(b); err != nil {
+		return rdf.Term{}, nil, err
+	}
+	return t, b, nil
+}
+
+func appendTriple(b []byte, t rdf.Triple) []byte {
+	b = appendTerm(b, t.S)
+	b = appendTerm(b, t.P)
+	return appendTerm(b, t.O)
+}
+
+func readTriple(b []byte) (rdf.Triple, []byte, error) {
+	var t rdf.Triple
+	var err error
+	if t.S, b, err = readTerm(b); err != nil {
+		return t, nil, err
+	}
+	if t.P, b, err = readTerm(b); err != nil {
+		return t, nil, err
+	}
+	if t.O, b, err = readTerm(b); err != nil {
+		return t, nil, err
+	}
+	return t, b, nil
+}

@@ -1,0 +1,586 @@
+// Package persist is the durability subsystem behind strabon.Store: an
+// append-only write-ahead log, binary columnar snapshots, crash
+// recovery, and background checkpointing.
+//
+// The contract is write-ahead: the Manager installs itself as the
+// store's Journal, so every mutation — Add, AddAll, Remove, a SPARQL
+// UPDATE through the endpoint, Compact — appends a length-prefixed,
+// CRC-checked record to the WAL (under the store's write lock, strictly
+// before the in-memory structures change). Checkpoints run off the
+// write path: a consistent immutable view (strabon.Snapshot) is
+// serialised to a temp file, fsynced, atomically renamed, and only then
+// are the WAL segments it covers deleted. Recovery loads the newest
+// snapshot that validates, replays the WAL tail past it, drops a torn
+// final record, and reopens the log for appending.
+//
+// A crash — SIGKILL included — therefore loses at most the final
+// unsynced record: everything acknowledged before it is either in a
+// snapshot or replayable from the log.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fsx"
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+)
+
+// SyncMode selects when WAL appends reach stable storage.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged update
+	// survives power loss. This is the default.
+	SyncAlways SyncMode = iota
+	// SyncInterval fsyncs on a timer (Options.SyncEvery): an
+	// acknowledged update survives process death (the write(2) has
+	// happened) but the last interval may be lost on power failure.
+	SyncInterval
+	// SyncNone never fsyncs the WAL; the OS flushes at its leisure.
+	SyncNone
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncMode(%d)", int(m))
+}
+
+// Options configures Open. The zero value of each field selects the
+// documented default.
+type Options struct {
+	// Dir is the data directory; created if absent. Required.
+	Dir string
+	// SyncMode is the WAL fsync policy (default SyncAlways).
+	SyncMode SyncMode
+	// SyncEvery is the SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// CheckpointBytes triggers a background checkpoint when the live WAL
+	// exceeds this size (default 64 MiB; negative disables).
+	CheckpointBytes int64
+	// CheckpointEvery triggers a background checkpoint on a timer
+	// (default 0: disabled).
+	CheckpointEvery time.Duration
+	// KeepSnapshots is how many snapshot generations survive a
+	// checkpoint (default 2: the new one plus one fallback).
+	KeepSnapshots int
+	// NoCheckpointOnClose skips the final checkpoint in Close — restart
+	// then replays the WAL instead (tests use this to exercise replay).
+	NoCheckpointOnClose bool
+	// Logf receives recovery and background-error diagnostics
+	// (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = 64 << 20
+	}
+	if opts.KeepSnapshots <= 0 {
+		opts.KeepSnapshots = 2
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return opts
+}
+
+// Stats is the durability telemetry surfaced at /stats.
+type Stats struct {
+	Dir                string
+	LastSeq            uint64 // last WAL sequence number assigned
+	WALBytes           int64  // bytes across live WAL segments
+	WALSegments        int
+	Snapshots          int
+	LastCheckpointSeq  uint64
+	LastCheckpointAt   time.Time // zero until the first checkpoint this process
+	LastCheckpointTook time.Duration
+	RecoveryTook       time.Duration
+	ReplayedRecords    uint64 // WAL records applied during recovery
+	JournalErr         error  // first append failure; writes are being vetoed
+}
+
+// Manager owns a data directory's WAL and snapshots. It implements
+// strabon.Journal and attaches itself to the recovered store.
+type Manager struct {
+	opts  Options
+	store *strabon.Store
+
+	walMu sync.Mutex // guards w
+	w     *wal
+
+	seq      atomic.Uint64 // last assigned WAL seq (mirrors w.seq)
+	walLive  atomic.Int64  // bytes across live segments
+	ckptSeq  atomic.Uint64 // seq covered by the newest durable snapshot
+	hasCkpt  atomic.Bool   // a snapshot exists on disk
+	ckptAt   atomic.Int64  // unix ms of the last checkpoint this process
+	ckptTook atomic.Int64  // ms
+	ckptMu   sync.Mutex    // serialises checkpoints
+
+	recoveryTook time.Duration
+	replayed     uint64
+
+	ckptCh    chan struct{}
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+
+	logScratch []byte
+}
+
+// Open recovers the store persisted in opts.Dir (an empty or absent
+// directory yields an empty store), attaches the write-ahead journal,
+// and starts the background sync/checkpoint loops. The returned store
+// is ready for concurrent use; every subsequent mutation is durable per
+// the configured SyncMode. Callers must Close the Manager to flush and
+// (by default) checkpoint on shutdown.
+func Open(o Options) (*Manager, *strabon.Store, error) {
+	if o.Dir == "" {
+		return nil, nil, errors.New("persist: Options.Dir is required")
+	}
+	opts := o.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	m := &Manager{
+		opts:   opts,
+		ckptCh: make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+	}
+	start := time.Now()
+
+	// 1. Newest snapshot that validates; corrupt ones are skipped so a
+	// half-written or bit-flipped file degrades to the previous
+	// generation, not to data loss.
+	snaps, err := listSnapshots(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var st *strabon.Store
+	var snapSeq uint64
+	for _, p := range snaps {
+		s, seq, err := readSnapshot(p)
+		if err != nil {
+			opts.Logf("persist: skipping snapshot %s: %v", filepath.Base(p), err)
+			continue
+		}
+		st, snapSeq = s, seq
+		break
+	}
+	if st == nil {
+		st = strabon.NewStore()
+	}
+
+	// 2. Replay the WAL tail past the snapshot. Records the snapshot
+	// already covers are validated but re-applied only logically
+	// (Add/Remove are set operations, so re-application of a
+	// conservatively-covered suffix is a no-op).
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(segs) > 0 && segs[0].firstSeq > snapSeq+1 {
+		// The WAL was pruned against a snapshot we failed to load (all
+		// retained generations corrupt or deleted): the records bridging
+		// the snapshot to the surviving log are gone. Booting anyway
+		// would silently serve — and then re-checkpoint — a store
+		// missing most of its data; refuse instead and leave the
+		// evidence on disk for the operator.
+		return nil, nil, fmt.Errorf(
+			"persist: wal starts at record %d but the newest loadable snapshot covers only %d; records %d..%d are unrecoverable (corrupt or deleted snapshots?)",
+			segs[0].firstSeq, snapSeq, snapSeq+1, segs[0].firstSeq-1)
+	}
+	scanLast := uint64(0)
+	if len(segs) > 0 {
+		scanLast = segs[0].firstSeq - 1
+	}
+	var appendSeg segInfo
+	var appendValid int64
+	haveAppendSeg := false
+	for i, seg := range segs {
+		if i > 0 && seg.firstSeq != scanLast+1 {
+			return nil, nil, fmt.Errorf("persist: wal gap: segment %s starts at %d, expected %d",
+				filepath.Base(seg.path), seg.firstSeq, scanLast+1)
+		}
+		validEnd, newLast, err := scanSegment(seg.path, scanLast, func(rec walRecord) error {
+			if rec.seq <= snapSeq {
+				return nil
+			}
+			if err := m.applyRecord(st, rec); err != nil {
+				return err
+			}
+			m.replayed++
+			return nil
+		})
+		scanLast = newLast
+		switch {
+		case err == nil:
+		case errors.Is(err, errTorn):
+			if i != len(segs)-1 {
+				return nil, nil, fmt.Errorf("persist: wal corruption inside non-final segment %s", filepath.Base(seg.path))
+			}
+			opts.Logf("persist: dropping torn wal tail of %s at offset %d", filepath.Base(seg.path), validEnd)
+		default:
+			return nil, nil, err
+		}
+		if i == len(segs)-1 {
+			appendSeg, appendValid, haveAppendSeg = seg, validEnd, true
+		}
+	}
+	lastSeq := scanLast
+	if snapSeq > lastSeq {
+		lastSeq = snapSeq
+	}
+
+	// 3. Reopen the log for appending. Normally that means truncating
+	// the final segment's torn tail (if any) and continuing in place.
+	// When the snapshot is ahead of every surviving WAL record (the log
+	// was lost or manually cleared), the stale segments are removed and
+	// a fresh one started so sequence numbers stay contiguous.
+	m.w = &wal{dir: opts.Dir, seq: lastSeq}
+	if haveAppendSeg && snapSeq <= scanLast {
+		f, size, err := openSegmentForAppend(appendSeg.path, appendValid)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.w.f, m.w.segStart, m.w.segBytes = f, appendSeg.firstSeq, size
+	} else {
+		for _, seg := range segs {
+			os.Remove(seg.path)
+		}
+		if err := m.w.rotate(); err != nil {
+			return nil, nil, err
+		}
+	}
+	m.seq.Store(lastSeq)
+	m.refreshWALBytes()
+	if len(snaps) > 0 {
+		m.hasCkpt.Store(true)
+		m.ckptSeq.Store(snapSeq)
+	}
+	m.recoveryTook = time.Since(start)
+
+	// 4. Go live: journal future writes, run the background loops.
+	m.store = st
+	st.SetJournal(m)
+	m.wg.Add(1)
+	go m.background()
+	return m, st, nil
+}
+
+// applyRecord replays one WAL record into the store (journal not yet
+// attached, so nothing is re-logged).
+func (m *Manager) applyRecord(st *strabon.Store, rec walRecord) error {
+	switch rec.op {
+	case opAdd:
+		if len(rec.body) < 4 {
+			return fmt.Errorf("persist: wal add record %d: short body", rec.seq)
+		}
+		count := int(uint32(rec.body[0]) | uint32(rec.body[1])<<8 | uint32(rec.body[2])<<16 | uint32(rec.body[3])<<24)
+		b := rec.body[4:]
+		// A triple encodes to at least 3×(1 kind byte + 3 length
+		// prefixes) = 39 bytes; a count the body cannot hold is
+		// corruption, and pre-allocating from it would let a crafted
+		// record OOM recovery despite a valid CRC.
+		const minTripleBytes = 39
+		if count < 0 || count > len(b)/minTripleBytes {
+			return fmt.Errorf("persist: wal add record %d: implausible triple count %d for %d-byte body", rec.seq, count, len(b))
+		}
+		ts := make([]rdf.Triple, 0, count)
+		for i := 0; i < count; i++ {
+			var t rdf.Triple
+			var err error
+			if t, b, err = readTriple(b); err != nil {
+				return fmt.Errorf("persist: wal add record %d: %w", rec.seq, err)
+			}
+			ts = append(ts, t)
+		}
+		st.AddAll(ts)
+	case opRemove:
+		t, _, err := readTriple(rec.body)
+		if err != nil {
+			return fmt.Errorf("persist: wal remove record %d: %w", rec.seq, err)
+		}
+		st.Remove(t)
+	case opCompact:
+		st.Compact()
+	default:
+		return fmt.Errorf("persist: wal record %d: unknown op %d", rec.seq, rec.op)
+	}
+	return nil
+}
+
+// append journals one record; called from the strabon.Journal hooks,
+// i.e. under the store's write lock.
+func (m *Manager) append(op byte, body []byte) error {
+	m.walMu.Lock()
+	n, err := m.w.append(op, body, m.opts.SyncMode == SyncAlways)
+	if err == nil {
+		m.seq.Store(m.w.seq)
+	}
+	m.walMu.Unlock()
+	if err != nil {
+		return err
+	}
+	live := m.walLive.Add(n)
+	if m.opts.CheckpointBytes > 0 && live >= m.opts.CheckpointBytes && m.seq.Load() > m.ckptSeq.Load() {
+		select {
+		case m.ckptCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// LogAdd implements strabon.Journal.
+func (m *Manager) LogAdd(triples []rdf.Triple) error {
+	b := m.logScratch[:0]
+	b = append(b, byte(len(triples)), byte(len(triples)>>8), byte(len(triples)>>16), byte(len(triples)>>24))
+	for _, t := range triples {
+		b = appendTriple(b, t)
+	}
+	// Steady-state records are a triple or two; don't let one bulk-load
+	// batch pin its multi-megabyte encode buffer for the process
+	// lifetime.
+	if cap(b) <= 1<<20 {
+		m.logScratch = b[:0]
+	} else {
+		m.logScratch = nil
+	}
+	return m.append(opAdd, b)
+}
+
+// LogRemove implements strabon.Journal.
+func (m *Manager) LogRemove(t rdf.Triple) error {
+	b := appendTriple(m.logScratch[:0], t)
+	m.logScratch = b[:0]
+	return m.append(opRemove, b)
+}
+
+// LogCompact implements strabon.Journal.
+func (m *Manager) LogCompact() error { return m.append(opCompact, nil) }
+
+// SyncWAL forces buffered WAL bytes to stable storage (a no-op under
+// SyncAlways).
+func (m *Manager) SyncWAL() error {
+	m.walMu.Lock()
+	defer m.walMu.Unlock()
+	return m.w.syncIfDirty()
+}
+
+// Checkpoint writes a snapshot of the current store state and prunes the
+// WAL segments and older snapshots it supersedes. It runs off the write
+// path: writers continue appending while the snapshot file is produced.
+func (m *Manager) Checkpoint() error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	start := time.Now()
+
+	// Rotate so appends move to a fresh segment; the segments before it
+	// become immutable and deletable once the snapshot lands.
+	m.walMu.Lock()
+	err := m.w.rotate()
+	m.walMu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	// Capture a consistent view plus the WAL sequence it covers. Journal
+	// appends happen under the store's write lock and Snapshot() builds
+	// under the read lock, so if the sequence number is identical on
+	// both sides of the build, it is exact. Under sustained writes we
+	// settle for the pre-build value: a safe lower bound, because
+	// replaying records the snapshot already reflects is idempotent
+	// (Add/Remove are set operations).
+	var sn *strabon.Snapshot
+	var seq uint64
+	for attempt := 0; ; attempt++ {
+		s1 := m.seq.Load()
+		sn = m.store.Snapshot()
+		seq = s1
+		if m.seq.Load() == s1 || attempt == 3 {
+			break
+		}
+	}
+	if m.hasCkpt.Load() && seq == m.ckptSeq.Load() {
+		return nil // nothing new since the last checkpoint
+	}
+	if _, err := writeSnapshot(m.opts.Dir, sn, seq); err != nil {
+		return err
+	}
+	m.ckptSeq.Store(seq)
+	m.hasCkpt.Store(true)
+	m.ckptAt.Store(time.Now().UnixMilli())
+	m.ckptTook.Store(time.Since(start).Milliseconds())
+	m.cleanup(seq)
+	return nil
+}
+
+// cleanup removes snapshot generations beyond KeepSnapshots, the WAL
+// segments no retained snapshot still needs, and stray temp files from
+// interrupted checkpoints. Runs under ckptMu.
+//
+// WAL segments are pruned against the OLDEST retained snapshot, not the
+// one just written: if the newest snapshot turns out unreadable at the
+// next recovery, the fallback generation still has its full WAL tail to
+// replay, so a single corrupted file never costs data.
+func (m *Manager) cleanup(seq uint64) {
+	pruneSeq := seq
+	snaps, err := listSnapshots(m.opts.Dir)
+	if err == nil {
+		for i, p := range snaps {
+			if i >= m.opts.KeepSnapshots {
+				os.Remove(p)
+				continue
+			}
+			if s, ok := parseSnapName(filepath.Base(p)); ok && s < pruneSeq {
+				pruneSeq = s
+			}
+		}
+	}
+	segs, err := listSegments(m.opts.Dir)
+	if err == nil {
+		// A segment is deletable when its successor starts at or before
+		// pruneSeq+1: every record it holds is then ≤ pruneSeq, i.e.
+		// inside even the oldest retained snapshot. The final segment is
+		// the live append target and always stays.
+		for i := 0; i+1 < len(segs); i++ {
+			if segs[i+1].firstSeq <= pruneSeq+1 {
+				os.Remove(segs[i].path)
+			}
+		}
+	}
+	if entries, err := os.ReadDir(m.opts.Dir); err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if len(name) > 4 && name[len(name)-4:] == ".tmp" {
+				if _, ok := parseSnapName(name[:len(name)-4]); ok {
+					os.Remove(filepath.Join(m.opts.Dir, name))
+				}
+			}
+		}
+	}
+	// Make the removals durable: a power loss must not resurrect
+	// pruned segments out of order with the snapshot that covers them.
+	if err := fsx.SyncDir(m.opts.Dir); err != nil {
+		m.opts.Logf("persist: cleanup dir sync: %v", err)
+	}
+	m.refreshWALBytes()
+}
+
+func (m *Manager) refreshWALBytes() {
+	segs, err := listSegments(m.opts.Dir)
+	if err != nil {
+		return
+	}
+	var total int64
+	for _, s := range segs {
+		total += s.size
+	}
+	m.walLive.Store(total)
+}
+
+// background runs the interval fsync and checkpoint triggers until Close.
+func (m *Manager) background() {
+	defer m.wg.Done()
+	syncTick := time.NewTicker(m.opts.SyncEvery)
+	defer syncTick.Stop()
+	ckptEvery := m.opts.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = 365 * 24 * time.Hour // effectively off
+	}
+	ckptTick := time.NewTicker(ckptEvery)
+	defer ckptTick.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-syncTick.C:
+			if m.opts.SyncMode == SyncInterval {
+				if err := m.SyncWAL(); err != nil {
+					m.opts.Logf("persist: wal sync: %v", err)
+				}
+			}
+		case <-m.ckptCh:
+			if err := m.Checkpoint(); err != nil {
+				m.opts.Logf("persist: checkpoint: %v", err)
+			}
+		case <-ckptTick.C:
+			if m.opts.CheckpointEvery > 0 && m.seq.Load() > m.ckptSeq.Load() {
+				if err := m.Checkpoint(); err != nil {
+					m.opts.Logf("persist: checkpoint: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// Store returns the recovered store the Manager journals for.
+func (m *Manager) Store() *strabon.Store { return m.store }
+
+// Stats reports durability telemetry.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		Dir:                m.opts.Dir,
+		LastSeq:            m.seq.Load(),
+		WALBytes:           m.walLive.Load(),
+		LastCheckpointSeq:  m.ckptSeq.Load(),
+		LastCheckpointTook: time.Duration(m.ckptTook.Load()) * time.Millisecond,
+		RecoveryTook:       m.recoveryTook,
+		ReplayedRecords:    m.replayed,
+		JournalErr:         m.store.JournalErr(),
+	}
+	if ms := m.ckptAt.Load(); ms != 0 {
+		s.LastCheckpointAt = time.UnixMilli(ms)
+	}
+	if segs, err := listSegments(m.opts.Dir); err == nil {
+		s.WALSegments = len(segs)
+	}
+	if snaps, err := listSnapshots(m.opts.Dir); err == nil {
+		s.Snapshots = len(snaps)
+	}
+	return s
+}
+
+// Close stops the background loops, takes a final checkpoint (unless
+// NoCheckpointOnClose), flushes and closes the WAL, and detaches the
+// journal. The store remains usable in-memory afterwards, but further
+// mutations are no longer persisted.
+func (m *Manager) Close() error {
+	m.closeOnce.Do(func() {
+		close(m.stopCh)
+		m.wg.Wait()
+		var firstErr error
+		if !m.opts.NoCheckpointOnClose {
+			if err := m.Checkpoint(); err != nil {
+				firstErr = err
+			}
+		}
+		m.store.SetJournal(nil)
+		m.walMu.Lock()
+		if err := m.w.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		m.walMu.Unlock()
+		m.closeErr = firstErr
+	})
+	return m.closeErr
+}

@@ -1,0 +1,298 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/fsx"
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+)
+
+// Binary columnar snapshot: the fast persistence path that replaces the
+// N-Triples dump. Layout of snap-<seq>.snap (16 hex digits, seq = the
+// last WAL sequence number the snapshot covers), all integers
+// little-endian:
+//
+//	8  bytes  magic "TELSNAP1"
+//	8  bytes  seq
+//	8  bytes  store version at capture
+//	8  bytes  d — dictionary section length in bytes
+//	d  bytes  dictionary (rdf.Dictionary.WriteTo)
+//	8  bytes  n — number of triples
+//	8n bytes  S column   (dictionary ids)
+//	8n bytes  P column
+//	8n bytes  O column
+//	8  bytes  g — number of cached geometries
+//	8g bytes  spatial literal ids, ascending
+//	4  bytes  CRC-32 (IEEE) of every preceding byte
+//
+// The file is produced via write-temp/fsync/rename (fsx.WriteFileAtomic),
+// so a crash during checkpointing leaves at worst a stray .tmp that
+// recovery ignores. The trailing whole-file CRC lets recovery reject a
+// bit-flipped or short snapshot and fall back to the previous one.
+
+const (
+	snapMagic     = "TELSNAP1"
+	snapPrefix    = "snap-"
+	snapSuffix    = ".snap"
+	colChunkTerms = 4096 // ids buffered per column write/read
+)
+
+func snapName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix)
+}
+
+func parseSnapName(name string) (uint64, bool) {
+	return parseSeqName(name, snapPrefix, snapSuffix)
+}
+
+// listSnapshots returns snapshot files in dir sorted newest (highest
+// seq) first.
+func listSnapshots(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type snap struct {
+		name string
+		seq  uint64
+	}
+	var snaps []snap
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSnapName(e.Name()); ok {
+			snaps = append(snaps, snap{name: e.Name(), seq: seq})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq })
+	out := make([]string, len(snaps))
+	for i, s := range snaps {
+		out[i] = filepath.Join(dir, s.name)
+	}
+	return out, nil
+}
+
+// crcWriter tees everything written through it into a CRC-32.
+type crcWriter struct {
+	w io.Writer
+	h hash.Hash32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.h.Write(p[:n])
+	return n, err
+}
+
+// crcReader tees everything read through it into a CRC-32.
+type crcReader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.h.Write(p[:n])
+	return n, err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func writeColumn(w io.Writer, col []uint64) error {
+	buf := make([]byte, 8*colChunkTerms)
+	for off := 0; off < len(col); off += colChunkTerms {
+		end := off + colChunkTerms
+		if end > len(col) {
+			end = len(col)
+		}
+		b := buf[:8*(end-off)]
+		for i, v := range col[off:end] {
+			binary.LittleEndian.PutUint64(b[8*i:], v)
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readColumn(r io.Reader, n uint64) ([]uint64, error) {
+	col := make([]uint64, n)
+	buf := make([]byte, 8*colChunkTerms)
+	for off := uint64(0); off < n; off += colChunkTerms {
+		end := off + colChunkTerms
+		if end > n {
+			end = n
+		}
+		b := buf[:8*(end-off)]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		for i := range col[off:end] {
+			col[off+uint64(i)] = binary.LittleEndian.Uint64(b[8*i:])
+		}
+	}
+	return col, nil
+}
+
+// writeSnapshot atomically writes sn (covering WAL records through seq)
+// to dir and returns the file path.
+func writeSnapshot(dir string, sn *strabon.Snapshot, seq uint64) (string, error) {
+	path := filepath.Join(dir, snapName(seq))
+	err := fsx.WriteFileAtomic(path, func(w io.Writer) error {
+		cw := &crcWriter{w: w, h: crc32.NewIEEE()}
+		if _, err := cw.Write([]byte(snapMagic)); err != nil {
+			return err
+		}
+		if err := writeU64(cw, seq); err != nil {
+			return err
+		}
+		if err := writeU64(cw, sn.Version()); err != nil {
+			return err
+		}
+		// The dictionary section is length-prefixed so the reader can
+		// hand ReadDictionary an exact byte range (it buffers internally
+		// and would otherwise consume bytes past its section).
+		var dictBuf bytes.Buffer
+		if _, err := sn.Dict().WriteTo(&dictBuf); err != nil {
+			return err
+		}
+		if err := writeU64(cw, uint64(dictBuf.Len())); err != nil {
+			return err
+		}
+		if _, err := cw.Write(dictBuf.Bytes()); err != nil {
+			return err
+		}
+		if err := writeU64(cw, uint64(len(sn.S))); err != nil {
+			return err
+		}
+		for _, col := range [][]uint64{sn.S, sn.P, sn.O} {
+			if err := writeColumn(cw, col); err != nil {
+				return err
+			}
+		}
+		geomIDs := sn.GeomIDs()
+		if err := writeU64(cw, uint64(len(geomIDs))); err != nil {
+			return err
+		}
+		if err := writeColumn(cw, geomIDs); err != nil {
+			return err
+		}
+		var trailer [4]byte
+		binary.LittleEndian.PutUint32(trailer[:], cw.h.Sum32())
+		_, err := w.Write(trailer[:])
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// readSnapshot loads and validates one snapshot file, returning the
+// restored store and the WAL sequence number it covers.
+func readSnapshot(path string) (*strabon.Store, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	if fi.Size() < int64(len(snapMagic))+8+8+4 {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: too short", filepath.Base(path))
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	cr := &crcReader{r: br, h: crc32.NewIEEE()}
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil || string(magic) != snapMagic {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: bad magic", filepath.Base(path))
+	}
+	seq, err := readU64(cr)
+	if err != nil {
+		return nil, 0, err
+	}
+	version, err := readU64(cr)
+	if err != nil {
+		return nil, 0, err
+	}
+	dictLen, err := readU64(cr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if dictLen > uint64(fi.Size()) {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: implausible dictionary length %d", filepath.Base(path), dictLen)
+	}
+	dictBytes := make([]byte, dictLen)
+	if _, err := io.ReadFull(cr, dictBytes); err != nil {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: dictionary: %w", filepath.Base(path), err)
+	}
+	dict, err := rdf.ReadDictionary(bytes.NewReader(dictBytes))
+	if err != nil {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: dictionary: %w", filepath.Base(path), err)
+	}
+	n, err := readU64(cr)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Sanity-bound n against the file size before allocating 3*8n bytes.
+	if n > uint64(fi.Size())/24 {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: implausible triple count %d", filepath.Base(path), n)
+	}
+	cols := make([][]uint64, 3)
+	for i := range cols {
+		if cols[i], err = readColumn(cr, n); err != nil {
+			return nil, 0, fmt.Errorf("persist: snapshot %s: column %d: %w", filepath.Base(path), i, err)
+		}
+	}
+	g, err := readU64(cr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if g > uint64(fi.Size())/8 {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: implausible geometry count %d", filepath.Base(path), g)
+	}
+	geomIDs, err := readColumn(cr, g)
+	if err != nil {
+		return nil, 0, err
+	}
+	sum := cr.h.Sum32()
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: missing CRC trailer", filepath.Base(path))
+	}
+	if binary.LittleEndian.Uint32(trailer[:]) != sum {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: CRC mismatch", filepath.Base(path))
+	}
+	st, err := strabon.RestoreColumns(dict, cols[0], cols[1], cols[2], geomIDs, version)
+	if err != nil {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: %w", filepath.Base(path), err)
+	}
+	return st, seq, nil
+}

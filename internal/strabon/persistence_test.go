@@ -1,0 +1,288 @@
+package strabon
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func persistTriple(i int) rdf.Triple {
+	return rdf.NewTriple(
+		rdf.IRI(fmt.Sprintf("http://example.org/s%d", i)),
+		rdf.IRI("http://example.org/p"),
+		rdf.IntegerLiteral(int64(i)))
+}
+
+// TestSaveCrashInjectedKeepsPreviousState simulates the two crash modes
+// of the old Save — death before any rename, and death between temp
+// write and rename — and asserts the previously saved state stays
+// loadable either way.
+func TestSaveCrashInjectedKeepsPreviousState(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore()
+	for i := 0; i < 10; i++ {
+		st.Add(persistTriple(i))
+	}
+	if err := st.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mode 1: a later save died after writing its temp files but
+	// before renaming — the directory holds *.tmp garbage alongside the
+	// good files. Load must ignore it.
+	for _, name := range []string{dictFile + ".tmp", triplesFile + ".tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn half-write"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatalf("load with stray temp files: %v", err)
+	}
+	if got.Len() != 10 {
+		t.Fatalf("recovered %d triples, want 10", got.Len())
+	}
+
+	// Crash mode 2: a save dies before writing anything durable
+	// (injected by planting a directory where the dictionary temp file
+	// goes, so the create fails — the step the old code reached only
+	// after already truncating the real files). The failed save must
+	// leave the previous state untouched.
+	st2 := NewStore()
+	for i := 0; i < 25; i++ {
+		st2.Add(persistTriple(1000 + i))
+	}
+	// (A later successful save simply truncates stray temp files; clear
+	// them here so the next injection can plant directories instead.)
+	for _, name := range []string{dictFile + ".tmp", triplesFile + ".tmp"} {
+		os.Remove(filepath.Join(dir, name))
+	}
+	block := filepath.Join(dir, dictFile+".tmp")
+	if err := os.Mkdir(block, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Save(dir); err == nil {
+		t.Fatal("save over blocked temp path unexpectedly succeeded")
+	}
+	os.Remove(block)
+	got, err = Load(dir)
+	if err != nil {
+		t.Fatalf("load after failed save: %v", err)
+	}
+	if got.Len() != 10 {
+		t.Fatalf("failed save corrupted the store: %d triples, want 10", got.Len())
+	}
+
+	// Crash mode 3: death between the two renames — the new dictionary
+	// landed, the new triples did not. Load re-encodes triples against
+	// whatever dictionary it finds, so the directory must still load as
+	// exactly the previous triple set.
+	block = filepath.Join(dir, triplesFile+".tmp")
+	if err := os.Mkdir(block, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Save(dir); err == nil {
+		t.Fatal("save over blocked triples temp path unexpectedly succeeded")
+	}
+	os.Remove(block)
+	got, err = Load(dir)
+	if err != nil {
+		t.Fatalf("load after half-renamed save: %v", err)
+	}
+	if got.Len() != 10 {
+		t.Fatalf("half-renamed save corrupted the store: %d triples, want 10", got.Len())
+	}
+}
+
+// TestSaveIsVersionConsistent runs Save concurrently with a writer
+// appending t0, t1, t2, … — because Save captures the dictionary and
+// triples under one lock acquisition, every saved state must be an
+// exact prefix of the insertion sequence, never a torn mixture.
+func TestSaveIsVersionConsistent(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore()
+	st.Add(persistTriple(0))
+
+	const total = 400
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i < total; i++ {
+			st.Add(persistTriple(i))
+		}
+	}()
+	for k := 0; k < 10; k++ {
+		if err := st.Save(dir); err != nil {
+			t.Errorf("save %d: %v", k, err)
+			break
+		}
+	}
+	wg.Wait()
+
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The saved store must be {t0..tk-1} for some k: sorted object
+	// integers are exactly 0..len-1.
+	var vals []int
+	for _, tr := range got.Triples() {
+		var v int
+		fmt.Sscanf(tr.O.Value, "%d", &v)
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	for i, v := range vals {
+		if v != i {
+			t.Fatalf("saved state is not a prefix: position %d holds %d", i, v)
+		}
+	}
+}
+
+// TestSaveLoadRoundtripEscapesAndSpatial exercises the satellite's
+// roundtrip matrix: literals with quotes, newlines, tabs, backslash-u
+// sequences and non-ASCII, plus spatial literals — asserting dictionary
+// ids, Version() semantics, and the geometry cache all survive
+// Save→Load.
+func TestSaveLoadRoundtripEscapesAndSpatial(t *testing.T) {
+	st := NewStore()
+	s := rdf.IRI("http://example.org/subject")
+	p := rdf.IRI("http://example.org/label")
+	gnarly := []rdf.Term{
+		rdf.Literal(`plain`),
+		rdf.Literal(`has "double quotes" inside`),
+		rdf.Literal("line one\nline two\r\nline three"),
+		rdf.Literal("tab\tseparated"),
+		rdf.Literal(`backslash \ and \u sequence literal ☃`),
+		rdf.Literal("actual snowman ☃ and accents éü"),
+		rdf.LangLiteral("bonjour \"le\" monde\n", "fr"),
+		rdf.TypedLiteral("42", rdf.XSDInteger),
+	}
+	spatial := []rdf.Term{
+		rdf.TypedLiteral("POINT (23.7 37.9)", rdf.StRDFWKT),
+		rdf.TypedLiteral("POLYGON ((23 37, 24 37, 24 38, 23 37))", rdf.StRDFWKT),
+	}
+	// GML literals are spatial but undecodable (strdf parses WKT only):
+	// they must round-trip byte-exactly without entering the cache.
+	gnarly = append(gnarly, rdf.TypedLiteral("<gml:Point><gml:pos>37.9 23.7</gml:pos></gml:Point>", rdf.StRDFGML))
+	for _, o := range append(append([]rdf.Term{}, gnarly...), spatial...) {
+		if !st.Add(rdf.NewTriple(s, p, o)) {
+			t.Fatalf("duplicate add of %s", o)
+		}
+	}
+
+	wantIDs := map[string]uint64{}
+	for _, o := range append(append([]rdf.Term{}, gnarly...), spatial...) {
+		id, err := st.LookupID(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIDs[o.String()] = id
+	}
+
+	dir := t.TempDir()
+	if err := st.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Len() != st.Len() {
+		t.Fatalf("loaded %d triples, want %d", got.Len(), st.Len())
+	}
+	// Every literal must round-trip byte-exactly with its original id
+	// (the saved dictionary pins id assignment).
+	for _, o := range append(append([]rdf.Term{}, gnarly...), spatial...) {
+		id, err := got.LookupID(o)
+		if err != nil {
+			t.Fatalf("literal lost in roundtrip: %s (%v)", o, err)
+		}
+		if id != wantIDs[o.String()] {
+			t.Errorf("%s: id %d after load, want %d", o, id, wantIDs[o.String()])
+		}
+		back, ok := got.Dict().Decode(id)
+		if !ok || back != o {
+			t.Errorf("decode(%d) = %+v, want %+v", id, back, o)
+		}
+	}
+	// The geometry cache must be rebuilt for every spatial literal.
+	for _, o := range spatial {
+		id, _ := got.LookupID(o)
+		if _, ok := got.Geometry(id); !ok {
+			t.Errorf("geometry cache missing for %s", o)
+		}
+	}
+	// Version() semantics: a loaded store reports a nonzero version (it
+	// was populated by mutations), version is stable across reads, and
+	// moves on the next mutation.
+	v := got.Version()
+	if v == 0 {
+		t.Fatal("loaded store reports version 0")
+	}
+	if got.Version() != v {
+		t.Fatal("Version() not stable across reads")
+	}
+	got.Add(persistTriple(999))
+	if got.Version() <= v {
+		t.Fatalf("version did not advance on mutation: %d -> %d", v, got.Version())
+	}
+	// And a second Save→Load of the loaded store is byte-stable.
+	dir2 := t.TempDir()
+	if err := got.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Load(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != got.Len() {
+		t.Fatalf("second roundtrip: %d triples, want %d", again.Len(), got.Len())
+	}
+}
+
+// TestRestoreColumnsValidation covers the error paths of the binary
+// snapshot constructor.
+func TestRestoreColumnsValidation(t *testing.T) {
+	dict := rdf.NewDictionary()
+	a := dict.Encode(rdf.IRI("http://example.org/a"))
+	b := dict.Encode(rdf.IRI("http://example.org/b"))
+	c := dict.Encode(rdf.IRI("http://example.org/c"))
+	if _, err := RestoreColumns(dict, []uint64{a}, []uint64{b}, nil, nil, 0); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := RestoreColumns(dict, []uint64{a}, []uint64{b}, []uint64{99}, nil, 0); err == nil {
+		t.Fatal("out-of-dictionary id accepted")
+	}
+	if _, err := RestoreColumns(dict, []uint64{a}, []uint64{b}, []uint64{c}, []uint64{77}, 0); err == nil {
+		t.Fatal("unknown geometry id accepted")
+	}
+	st, err := RestoreColumns(dict, []uint64{a}, []uint64{b}, []uint64{c}, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 || st.Version() != 7 {
+		t.Fatalf("restored len=%d version=%d", st.Len(), st.Version())
+	}
+	// The secondary indexes are deferred; both a read-path and a
+	// write-path consumer must materialise them transparently.
+	if got := st.MatchIDs(TriplePattern{S: a}); len(got) != 1 {
+		t.Fatalf("MatchIDs over restored store: %v", got)
+	}
+	if st.Add(rdf.NewTriple(rdf.IRI("http://example.org/a"), rdf.IRI("http://example.org/b"), rdf.IRI("http://example.org/c"))) {
+		t.Fatal("restored triple re-added: present map not rebuilt")
+	}
+	if !st.Remove(rdf.NewTriple(rdf.IRI("http://example.org/a"), rdf.IRI("http://example.org/b"), rdf.IRI("http://example.org/c"))) {
+		t.Fatal("restored triple not removable")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("len after remove = %d", st.Len())
+	}
+}

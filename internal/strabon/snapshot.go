@@ -75,9 +75,6 @@ func (st *Store) buildSnapshotLocked() *Snapshot {
 		S:       make([]uint64, 0, n),
 		P:       make([]uint64, 0, n),
 		O:       make([]uint64, 0, n),
-		byS:     make(map[uint64][]int32),
-		byP:     make(map[uint64][]int32),
-		byO:     make(map[uint64][]int32),
 		geoms:   make(map[uint64]strdf.SpatialValue, len(st.geoms)),
 		useIdx:  st.useSpatialIndex,
 	}
@@ -85,14 +82,21 @@ func (st *Store) buildSnapshotLocked() *Snapshot {
 		if st.s[row] == 0 {
 			continue
 		}
-		r := int32(len(sn.S))
 		sn.S = append(sn.S, st.s[row])
 		sn.P = append(sn.P, st.p[row])
 		sn.O = append(sn.O, st.o[row])
-		sn.byS[st.s[row]] = append(sn.byS[st.s[row]], r)
-		sn.byP[st.p[row]] = append(sn.byP[st.p[row]], r)
-		sn.byO[st.o[row]] = append(sn.byO[st.o[row]], r)
 	}
+	// Posting lists are built with a counting-sort pass over the dense
+	// id space rather than per-row map appends: count occurrences per
+	// id, carve one shared backing array into per-id slices, fill, and
+	// insert each distinct id into the map once. On a million-row store
+	// this replaces three million map operations with three linear
+	// passes plus one map insert per distinct term.
+	maxID := uint64(st.dict.Len())
+	counts := make([]int32, maxID+1)
+	sn.byS = buildPostings(sn.S, counts)
+	sn.byP = buildPostings(sn.P, counts)
+	sn.byO = buildPostings(sn.O, counts)
 	items := make([]rtree.Item, 0, len(st.geoms))
 	for id, v := range st.geoms {
 		sn.geoms[id] = v
@@ -102,6 +106,47 @@ func (st *Store) buildSnapshotLocked() *Snapshot {
 	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
 	sn.spatial = rtree.BulkLoad(items, 0)
 	return sn
+}
+
+// buildPostings builds one component's posting-list index over a
+// compacted id column via counting sort. counts is caller-provided
+// scratch of length dict.Len()+1, zeroed on return.
+func buildPostings(col []uint64, counts []int32) map[uint64][]int32 {
+	distinct := 0
+	for _, id := range col {
+		if counts[id] == 0 {
+			distinct++
+		}
+		counts[id]++
+	}
+	// Prefix-sum counts into start offsets; after the fill pass each
+	// entry has advanced to its end offset, and since offsets are
+	// assigned in id order, a slice's start is its predecessor's end.
+	off := int32(0)
+	for id := range counts {
+		c := counts[id]
+		counts[id] = off
+		off += c
+	}
+	backing := make([]int32, len(col))
+	for r, id := range col {
+		backing[counts[id]] = int32(r)
+		counts[id]++
+	}
+	idx := make(map[uint64][]int32, distinct)
+	prevEnd := int32(0)
+	for id := 1; id < len(counts); id++ {
+		end := counts[id]
+		if end != prevEnd {
+			idx[uint64(id)] = backing[prevEnd:end:end]
+		}
+		prevEnd = end
+	}
+	// Zero the scratch for the next column.
+	for id := range counts {
+		counts[id] = 0
+	}
+	return idx
 }
 
 // NRows reports the number of live triples in the snapshot.
@@ -224,6 +269,18 @@ func (sn *Snapshot) SpatialCandidates(box geo.Envelope) []uint64 {
 			out = append(out, id)
 		}
 	}
+	return out
+}
+
+// GeomIDs returns the ids of every spatial literal with a cached
+// geometry, sorted ascending — the deterministic input the binary
+// snapshot writer serialises.
+func (sn *Snapshot) GeomIDs() []uint64 {
+	out := make([]uint64, 0, len(sn.geoms))
+	for id := range sn.geoms {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

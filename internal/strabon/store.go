@@ -6,6 +6,7 @@
 package strabon
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -14,11 +15,27 @@ import (
 	"sync"
 
 	"repro/internal/column"
+	"repro/internal/fsx"
 	"repro/internal/geo"
 	"repro/internal/rdf"
 	"repro/internal/rtree"
 	"repro/internal/strdf"
 )
+
+// Journal receives write-ahead notifications for every mutation, invoked
+// while the store's write lock is held and strictly before the in-memory
+// structures change. An implementation (internal/persist) appends a
+// durable log record and returns nil; a non-nil error vetoes the
+// mutation, which is then reported to the caller as "nothing changed"
+// (Add returns false, AddAll returns 0, ...) and recorded for
+// JournalErr. LogAdd only ever sees triples that are genuinely new
+// (duplicates are filtered first), so replaying the journal rebuilds the
+// dictionary with identical id assignment.
+type Journal interface {
+	LogAdd(triples []rdf.Triple) error
+	LogRemove(t rdf.Triple) error
+	LogCompact() error
+}
 
 // Store is the triple store. Reads are safe concurrently; writes take the
 // exclusive lock.
@@ -52,6 +69,20 @@ type Store struct {
 	// snap caches the immutable read view handed to the vectorized
 	// executor; it is rebuilt lazily when version moves past it.
 	snap *Snapshot
+	// lazyIdx is set by RestoreColumns: the component posting lists and
+	// the present map have not been built yet and must be materialised
+	// (ensureIdx) before the first mutation or index-driven read.
+	lazyIdx bool
+	// journal, when set, is notified ahead of every mutation (see
+	// Journal). journalErr latches the newest veto for diagnostics;
+	// journalVetoes counts them so callers can detect that a specific
+	// operation was vetoed (the error value may repeat).
+	journal       Journal
+	journalErr    error
+	journalVetoes uint64
+	// logScratch is the single-triple batch handed to LogAdd from Add so
+	// the hot path does not allocate per insert.
+	logScratch [1]rdf.Triple
 }
 
 // NewStore returns an empty store with the spatial index enabled.
@@ -92,6 +123,44 @@ func (st *Store) appendPosting(rows []int, row int) []int {
 	return append(rows, row)
 }
 
+// buildIndexesLocked materialises the deferred secondary structures of
+// a RestoreColumns store; callers hold the write lock.
+func (st *Store) buildIndexesLocked() {
+	if !st.lazyIdx {
+		return
+	}
+	st.lazyIdx = false
+	n := len(st.s)
+	st.present = make(map[[3]uint64]int, n)
+	st.byS = make(map[uint64][]int, n/4+16)
+	st.byP = make(map[uint64][]int, 64)
+	st.byO = make(map[uint64][]int, n/4+16)
+	for row := 0; row < n; row++ {
+		if st.s[row] == 0 {
+			continue
+		}
+		st.present[[3]uint64{st.s[row], st.p[row], st.o[row]}] = row
+		st.byS[st.s[row]] = st.appendPosting(st.byS[st.s[row]], row)
+		st.byP[st.p[row]] = st.appendPosting(st.byP[st.p[row]], row)
+		st.byO[st.o[row]] = st.appendPosting(st.byO[st.o[row]], row)
+	}
+}
+
+// ensureIdx materialises the deferred indexes from a read path (lock
+// not held): double-checked read-to-write upgrade, same shape as the
+// lazy R-tree build in SpatialCandidates.
+func (st *Store) ensureIdx() {
+	st.mu.RLock()
+	lazy := st.lazyIdx
+	st.mu.RUnlock()
+	if !lazy {
+		return
+	}
+	st.mu.Lock()
+	st.buildIndexesLocked()
+	st.mu.Unlock()
+}
+
 // SetSpatialIndexEnabled toggles R-tree use in spatial lookups (the A1
 // ablation baseline scans all spatial literals when disabled).
 func (st *Store) SetSpatialIndexEnabled(on bool) {
@@ -120,6 +189,7 @@ func (st *Store) Len() int {
 func (st *Store) Add(t rdf.Triple) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.buildIndexesLocked()
 	return st.addLocked(t)
 }
 
@@ -127,13 +197,37 @@ func (st *Store) Add(t rdf.Triple) bool {
 // (AddAll, LoadNTriples) takes the lock once per batch instead of once per
 // triple.
 func (st *Store) addLocked(t rdf.Triple) bool {
-	sID := st.dict.Encode(t.S)
-	pID := st.dict.Encode(t.P)
-	oID := st.dict.Encode(t.O)
-	key := [3]uint64{sID, pID, oID}
-	if _, ok := st.present[key]; ok {
+	key, isNew := st.stageAdd(t)
+	if !isNew {
 		return false
 	}
+	if st.journal != nil {
+		st.logScratch[0] = t
+		if err := st.journal.LogAdd(st.logScratch[:]); err != nil {
+			st.journalErr = err
+			st.journalVetoes++
+			return false
+		}
+	}
+	st.applyAdd(t, key)
+	return true
+}
+
+// stageAdd encodes a triple's terms and reports whether it is new.
+// Encoding may grow the dictionary even for triples that are then
+// rejected as duplicates or vetoed by the journal — that is harmless:
+// dictionary ids only become observable through stored triples, and
+// journal replay re-encodes the same new triples in the same order.
+func (st *Store) stageAdd(t rdf.Triple) (key [3]uint64, isNew bool) {
+	key = [3]uint64{st.dict.Encode(t.S), st.dict.Encode(t.P), st.dict.Encode(t.O)}
+	_, dup := st.present[key]
+	return key, !dup
+}
+
+// applyAdd installs a staged triple; callers hold the write lock and have
+// already journalled it.
+func (st *Store) applyAdd(t rdf.Triple, key [3]uint64) {
+	sID, pID, oID := key[0], key[1], key[2]
 	st.version++
 	row := len(st.s)
 	st.s = append(st.s, sID)
@@ -154,7 +248,6 @@ func (st *Store) addLocked(t rdf.Triple) bool {
 			}
 		}
 	}
-	return true
 }
 
 // rebuildSpatialLocked STR-bulk-loads the R-tree from the geometry
@@ -169,17 +262,80 @@ func (st *Store) rebuildSpatialLocked() {
 }
 
 // AddAll inserts a batch of triples under one write lock and reports how
-// many were new.
+// many were new. With a journal attached the whole batch becomes one WAL
+// record: the new triples are staged and deduplicated first, logged
+// together, and only then applied, so a crash can never leave a batch
+// half-durable.
 func (st *Store) AddAll(triples []rdf.Triple) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	n := 0
-	for _, t := range triples {
-		if st.addLocked(t) {
-			n++
+	st.buildIndexesLocked()
+	if st.journal == nil {
+		n := 0
+		for _, t := range triples {
+			if st.addLocked(t) {
+				n++
+			}
 		}
+		return n
 	}
-	return n
+	fresh := make([]rdf.Triple, 0, len(triples))
+	keys := make([][3]uint64, 0, len(triples))
+	staged := make(map[[3]uint64]struct{}, len(triples))
+	for _, t := range triples {
+		key, isNew := st.stageAdd(t)
+		if !isNew {
+			continue
+		}
+		if _, dup := staged[key]; dup {
+			continue
+		}
+		staged[key] = struct{}{}
+		fresh = append(fresh, t)
+		keys = append(keys, key)
+	}
+	if len(fresh) == 0 {
+		return 0
+	}
+	if err := st.journal.LogAdd(fresh); err != nil {
+		st.journalErr = err
+		st.journalVetoes++
+		return 0
+	}
+	for i, t := range fresh {
+		st.applyAdd(t, keys[i])
+	}
+	return len(fresh)
+}
+
+// SetJournal attaches (or with nil detaches) the write-ahead journal.
+// Attach before the store is shared: the hook fires on every subsequent
+// mutation, under the write lock.
+func (st *Store) SetJournal(j Journal) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.journal = j
+	st.journalErr = nil
+}
+
+// JournalErr reports the first journal veto since the journal was
+// attached (nil when every mutation was logged successfully). A non-nil
+// value means writes are being rejected to preserve the WAL-before-state
+// invariant; operators surface it via /stats.
+func (st *Store) JournalErr() error {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.journalErr
+}
+
+// JournalVetoes counts journal-vetoed mutations since the journal was
+// attached. Comparing the counter across an operation detects whether
+// that specific operation was vetoed, which the error value alone
+// cannot (it may repeat).
+func (st *Store) JournalVetoes() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.journalVetoes
 }
 
 // Remove deletes a triple; it reports whether it was present.
@@ -198,10 +354,18 @@ func (st *Store) Remove(t rdf.Triple) bool {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.buildIndexesLocked()
 	key := [3]uint64{sID, pID, oID}
 	row, ok := st.present[key]
 	if !ok {
 		return false
+	}
+	if st.journal != nil {
+		if err := st.journal.LogRemove(t); err != nil {
+			st.journalErr = err
+			st.journalVetoes++
+			return false
+		}
 	}
 	delete(st.present, key)
 	st.version++
@@ -232,6 +396,7 @@ type TriplePattern struct {
 // MatchIDs returns the row positions matching the pattern, using the most
 // selective available component index.
 func (st *Store) MatchIDs(pat TriplePattern) []int {
+	st.ensureIdx()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.matchLocked(pat)
@@ -290,6 +455,7 @@ func (st *Store) Row(row int) (uint64, uint64, uint64) {
 // Cardinality estimates the number of matches for a pattern without
 // materialising them — the optimizer's selectivity source.
 func (st *Store) Cardinality(pat TriplePattern) int {
+	st.ensureIdx()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	est := len(st.s) - st.deleted
@@ -362,6 +528,10 @@ func (st *Store) SpatialCandidates(box geo.Envelope) []uint64 {
 func (st *Store) Triples() []rdf.Triple {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	return st.triplesLocked()
+}
+
+func (st *Store) triplesLocked() []rdf.Triple {
 	out := make([]rdf.Triple, 0, len(st.s)-st.deleted)
 	for row := range st.s {
 		if st.s[row] == 0 {
@@ -383,14 +553,27 @@ type Stats struct {
 	Predicates      int
 }
 
-// Stats returns a snapshot of store statistics.
+// Stats returns a snapshot of store statistics. It deliberately does
+// not materialise a restored store's deferred indexes: the predicate
+// count is derived from a linear scan instead, so the startup banner
+// and /stats polls don't defeat the lazy-restore fast boot.
 func (st *Store) Stats() Stats {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	nPreds := 0
-	for _, rows := range st.byP {
-		if len(rows) > 0 {
-			nPreds++
+	if st.lazyIdx {
+		seen := make(map[uint64]struct{}, 64)
+		for _, id := range st.p {
+			if id != 0 {
+				seen[id] = struct{}{}
+			}
+		}
+		nPreds = len(seen)
+	} else {
+		for _, rows := range st.byP {
+			if len(rows) > 0 {
+				nPreds++
+			}
 		}
 	}
 	return Stats{
@@ -438,6 +621,13 @@ func (st *Store) Compact() int {
 	defer st.mu.Unlock()
 	if st.deleted == 0 {
 		return 0
+	}
+	if st.journal != nil {
+		if err := st.journal.LogCompact(); err != nil {
+			st.journalErr = err
+			st.journalVetoes++
+			return 0
+		}
 	}
 	// Row numbering and the spatial side change; cached snapshots must not
 	// outlive them, and in-flight snapshot builds must not reinstall a
@@ -503,30 +693,44 @@ const (
 // Save writes the store to a directory: the dictionary snapshot plus the
 // triples in N-Triples (robust, diffable, and the dictionary re-encodes on
 // load, matching ids by insertion order).
+//
+// Save is crash-safe and version-consistent. The dictionary and the
+// triple set are captured under one read-lock acquisition, so a save
+// racing an UPDATE can never pair a dictionary from one version with
+// triples from another. Each file is then written via the
+// write-temp/fsync/rename sequence (fsx.WriteFileAtomic), so a crash
+// mid-save leaves the previous on-disk store intact and loadable — never
+// a truncated file. The dictionary is renamed into place first: if the
+// process dies between the two renames, the directory holds the new
+// dictionary (a superset, ids unchanged) with the old triples, which
+// loads as exactly the pre-save state.
 func (st *Store) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	df, err := os.Create(filepath.Join(dir, dictFile))
+	// Capture both halves under a single lock acquisition. Serialisation
+	// to memory is cheap relative to disk I/O and keeps the lock hold
+	// time independent of storage latency.
+	st.mu.RLock()
+	var dictBuf bytes.Buffer
+	_, err := st.dict.WriteTo(&dictBuf)
+	var triples []rdf.Triple
+	if err == nil {
+		triples = st.triplesLocked()
+	}
+	st.mu.RUnlock()
 	if err != nil {
 		return err
 	}
-	if _, err := st.dict.WriteTo(df); err != nil {
-		df.Close()
+	if err := fsx.WriteFileAtomic(filepath.Join(dir, dictFile), func(w io.Writer) error {
+		_, err := w.Write(dictBuf.Bytes())
+		return err
+	}); err != nil {
 		return err
 	}
-	if err := df.Close(); err != nil {
-		return err
-	}
-	tf, err := os.Create(filepath.Join(dir, triplesFile))
-	if err != nil {
-		return err
-	}
-	if err := rdf.WriteNTriples(tf, st.Triples()); err != nil {
-		tf.Close()
-		return err
-	}
-	return tf.Close()
+	return fsx.WriteFileAtomic(filepath.Join(dir, triplesFile), func(w io.Writer) error {
+		return rdf.WriteNTriples(w, triples)
+	})
 }
 
 // Load reads a store saved by Save.
@@ -561,7 +765,24 @@ func (st *Store) LoadNTriples(r io.Reader) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return st.AddAll(triples), nil
+	// Chunked AddAll so that a journalled bulk load produces bounded WAL
+	// records (the log enforces a per-record size cap) instead of one
+	// giant record per file. A journal veto aborts the load with the
+	// underlying error rather than silently dropping the rest.
+	const chunk = 65536
+	n := 0
+	for off := 0; off < len(triples); off += chunk {
+		end := off + chunk
+		if end > len(triples) {
+			end = len(triples)
+		}
+		vetoes := st.JournalVetoes()
+		n += st.AddAll(triples[off:end])
+		if st.JournalVetoes() != vetoes {
+			return n, fmt.Errorf("strabon: bulk load aborted: %w", st.JournalErr())
+		}
+	}
+	return n, nil
 }
 
 // ErrNotFound is returned by lookups of unknown terms.
@@ -574,4 +795,59 @@ func (st *Store) LookupID(t rdf.Term) (uint64, error) {
 		return 0, ErrNotFound
 	}
 	return id, nil
+}
+
+// RestoreColumns rebuilds a store directly from a binary snapshot's
+// already-encoded state: the dictionary, the three compacted id columns,
+// and the ids of the spatial literals that had cached geometries. It is
+// the fast deserialisation path used by internal/persist — no N-Triples
+// parsing, no re-encoding; only the secondary indexes are rebuilt and
+// the listed geometries re-parsed from their dictionary terms. version
+// seeds the store's mutation counter so it stays monotone across a
+// recovery.
+func RestoreColumns(dict *rdf.Dictionary, s, p, o []uint64, geomIDs []uint64, version uint64) (*Store, error) {
+	if len(s) != len(p) || len(s) != len(o) {
+		return nil, fmt.Errorf("strabon: column length mismatch: s=%d p=%d o=%d", len(s), len(p), len(o))
+	}
+	st := NewStore()
+	st.dict = dict
+	st.version = version
+	n := len(s)
+	maxID := uint64(dict.Len())
+	st.s, st.p, st.o = s, p, o
+	// Validate the columns up front (cheap linear scan), but defer the
+	// expensive secondary structures — the component posting lists and
+	// the duplicate-suppression map — until something actually needs
+	// them (lazyIdx). A restart that only serves vectorized read
+	// queries goes straight from snapshot bytes to answering: the
+	// executor's read view (Snapshot) builds its own indexes, so the
+	// store-level ones matter only to mutations and the legacy
+	// evaluator. This mirrors the store's lazily built R-tree and is
+	// what makes the binary restart path so much faster than the
+	// N-Triples one.
+	for row := 0; row < n; row++ {
+		if s[row] == 0 || s[row] > maxID || p[row] == 0 || p[row] > maxID || o[row] == 0 || o[row] > maxID {
+			return nil, fmt.Errorf("strabon: row %d references id outside dictionary (max %d)", row, maxID)
+		}
+	}
+	st.lazyIdx = true
+	for _, id := range geomIDs {
+		t, ok := dict.Decode(id)
+		if !ok {
+			return nil, fmt.Errorf("strabon: geometry id %d not in dictionary", id)
+		}
+		v, err := strdf.ParseSpatial(t)
+		if err != nil {
+			// The snapshot only lists ids whose ingest-time parse
+			// succeeded; a failure here means the snapshot and dictionary
+			// disagree.
+			return nil, fmt.Errorf("strabon: geometry id %d: %w", id, err)
+		}
+		if w, err := v.ToWGS84(); err == nil {
+			v = w
+		}
+		st.geoms[id] = v
+	}
+	st.spatialStale = len(st.geoms) > 0
+	return st, nil
 }
