@@ -5,15 +5,18 @@ GO ?= go
 # The tier-1 benchmark set: the paper's three figures, two scenarios, the
 # flagship query and the design ablations (see bench_test.go), plus the
 # SciQL executor and parallel array-kernel benchmarks (internal/sciql,
-# internal/array) added in PR 3, and the durability benchmarks
+# internal/array) added in PR 3, the durability benchmarks
 # (internal/persist: WAL append, snapshot write/load vs the legacy
-# N-Triples path, WAL-replay recovery) added in PR 4.
-BENCH_TIER1 = BenchmarkFigure1Pipeline|BenchmarkFigure3CatalogueSearch|BenchmarkFlagshipQuery|BenchmarkOptimizerOrdering|BenchmarkAblationExecutor|BenchmarkAblationSpatialIndex
+# N-Triples path, WAL-replay recovery) added in PR 4, and the
+# morsel-parallel multi-pattern SPARQL cores ablation
+# (BenchmarkParallelQueryAblation: 1/2/4/GOMAXPROCS workers) added in
+# PR 5.
+BENCH_TIER1 = BenchmarkFigure1Pipeline|BenchmarkFigure3CatalogueSearch|BenchmarkFlagshipQuery|BenchmarkOptimizerOrdering|BenchmarkAblationExecutor|BenchmarkAblationSpatialIndex|BenchmarkParallelQueryAblation
 BENCH_SCIQL = BenchmarkSelectFilter|BenchmarkGroupByAggregate|BenchmarkArrayUpdateClassify|BenchmarkAlignedArrayJoin|BenchmarkDimensionPushdownCrop|BenchmarkAblationSciQLExecutor
 BENCH_ARRAY = BenchmarkConvolve2D|BenchmarkResampleBilinear|BenchmarkTileAvg|BenchmarkConnectedComponents|BenchmarkSummarize|BenchmarkAblationParallelKernels
 BENCH_PERSIST = BenchmarkWALAppend|BenchmarkWALAppendBatch|BenchmarkWALAppendSynced|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad|BenchmarkNTriplesLoad|BenchmarkRecoveryReplay
 
-.PHONY: all build test race vet bench bench-json crash-test clean
+.PHONY: all build test race vet bench bench-json equivalence crash-test clean
 
 all: vet build test
 
@@ -24,7 +27,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/endpoint/ ./internal/strabon/ ./internal/stsparql/ ./internal/sciql/ ./internal/array/ ./internal/persist/
+	$(GO) test -race ./internal/endpoint/ ./internal/strabon/ ./internal/stsparql/ ./internal/sciql/ ./internal/array/ ./internal/parallel/ ./internal/persist/
 
 # crash-test SIGKILLs a loaded teleios-server mid-write and asserts the
 # durable data dir recovers every acknowledged update.
@@ -45,8 +48,14 @@ bench:
 # bench-json converts the last bench run (or a fresh one) into the
 # machine-readable perf record.
 bench-json: bench
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR4.json
-	@echo wrote BENCH_PR4.json
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR5.json
+	@echo wrote BENCH_PR5.json
+
+# equivalence runs the executor-equivalence gates in both serial and
+# parallel-morsel modes (the CI gate for the morsel executor).
+equivalence:
+	$(GO) test -run 'TestExecutorEquivalence|TestSerialParallelEquivalence|TestContextCancellation' ./internal/stsparql/
+	$(GO) test -race -run 'TestSerialParallelEquivalence|TestConcurrentParallelQueriesUpdatesCheckpoints' ./internal/stsparql/
 
 clean:
 	rm -f bench.out

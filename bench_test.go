@@ -10,6 +10,7 @@ package teleios
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -273,6 +274,75 @@ func flagshipQueryText() string {
 			?site noa:hasGeometry ?sg .
 			FILTER(strdf:distance(?hg, ?sg) < 2000)
 		}`
+}
+
+// Q2 — the morsel-parallelism cores ablation: multi-pattern queries
+// (the flagship hotspot×site join with its distance filter, and a wide
+// catalogue search with a spatial filter) at a per-query worker bound of
+// 1, 2, 4 and GOMAXPROCS. The shared slot-budget pool still caps real
+// concurrency at GOMAXPROCS-1 extra goroutines, so the >1 worker runs
+// only beat serial on multi-core hardware.
+func BenchmarkParallelQueryAblation(b *testing.B) {
+	workerSet := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		workerSet = append(workerSet, n)
+	}
+	flagship := flagshipFixture(b, 2000, true)
+	flagshipQ := flagshipQueryText()
+	for _, workers := range workerSet {
+		b.Run(fmt.Sprintf("flagship/workers=%d", workers), func(b *testing.B) {
+			flagship.MaxParallelism = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := flagship.Query(flagshipQ)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Bindings) == 0 {
+					b.Fatal("no results")
+				}
+			}
+		})
+	}
+	flagship.MaxParallelism = 0
+
+	// Catalogue search over a product archive large enough that the
+	// filter and join stages exceed the morsel thresholds.
+	st := strabon.NewStore()
+	frames := cachedFrames(32, 1)
+	for i := 0; i < 1024; i++ {
+		f := *frames[0]
+		f.ID = fmt.Sprintf("MSG2-SYN-%04d", i)
+		f.Time = f.Time.Add(time.Duration(i) * 15 * time.Minute)
+		st.AddAll(ingest.ExtractMetadata(&f))
+	}
+	catalogue := stsparql.New(st)
+	catalogueQ := `
+		PREFIX noa: <http://teleios.di.uoa.gr/noa#>
+		PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		SELECT ?img ?t WHERE {
+			?img a noa:Product .
+			?img noa:satellite "Meteosat-9" .
+			?img noa:acquiredAt ?t .
+			?img noa:coverage ?cov .
+			FILTER(strdf:intersects(?cov, "POLYGON ((22 37, 25 37, 25 39, 22 39, 22 37))"^^strdf:WKT))
+		} ORDER BY ?t LIMIT 20`
+	for _, workers := range workerSet {
+		b.Run(fmt.Sprintf("catalogue/workers=%d", workers), func(b *testing.B) {
+			catalogue.MaxParallelism = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := catalogue.Query(catalogueQ)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Bindings) == 0 {
+					b.Fatal("no results")
+				}
+			}
+		})
+	}
+	catalogue.MaxParallelism = 0
 }
 
 // A1 — ablation: the store-level spatial candidate lookup with the R-tree

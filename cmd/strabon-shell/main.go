@@ -1,10 +1,14 @@
 // Command strabon-shell is an interactive stSPARQL endpoint over a
 // Strabon store directory (as written by Store.Save) or an N-Triples
 // file. Statements are terminated by a line containing only ";".
+// Prefix any read statement with EXPLAIN to print the physical plan
+// (join order, estimated vs. measured cardinalities, morsel
+// parallelism) instead of the rows.
 //
 // Usage:
 //
 //	strabon-shell [-store DIR] [-nt FILE] [-linked]
+//	              [-max-query-parallelism N] [-legacy-eval]
 package main
 
 import (
@@ -24,6 +28,8 @@ func main() {
 	storeDir := flag.String("store", "", "load a saved Strabon store directory")
 	ntFile := flag.String("nt", "", "load an N-Triples file")
 	linked := flag.Bool("linked", false, "preload the synthetic linked open data")
+	maxPar := flag.Int("max-query-parallelism", 0, "morsel-parallel workers per query (0 = all cores, 1 = serial)")
+	legacyEval := flag.Bool("legacy-eval", false, "use the legacy binding-at-a-time evaluator")
 	flag.Parse()
 
 	st := strabon.NewStore()
@@ -51,8 +57,10 @@ func main() {
 		st.AddAll(linkeddata.All())
 	}
 	eng := stsparql.New(st)
+	eng.MaxParallelism = *maxPar
+	eng.DisableVectorized = *legacyEval
 	stats := st.Stats()
-	fmt.Printf("strabon-shell: %d triples, %d spatial literals. End statements with a ';' line.\n",
+	fmt.Printf("strabon-shell: %d triples, %d spatial literals. End statements with a ';' line (EXPLAIN prefix prints plans).\n",
 		stats.Triples, stats.SpatialLiterals)
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -85,6 +93,11 @@ func execute(eng *stsparql.Engine, query string) {
 	case res.Triples != nil:
 		for _, t := range res.Triples {
 			fmt.Println(t)
+		}
+	case len(res.Vars) == 1 && res.Vars[0] == "plan":
+		// EXPLAIN output: print the plan lines verbatim.
+		for _, b := range res.Bindings {
+			fmt.Println(b["plan"].Value)
 		}
 	case res.Vars != nil:
 		for _, b := range res.Bindings {

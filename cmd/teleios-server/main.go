@@ -8,7 +8,16 @@
 //	               [-linked] [-wal-sync always|none|DUR]
 //	               [-checkpoint-every DUR] [-checkpoint-bytes N]
 //	               [-cache N] [-max-concurrency N] [-timeout DUR]
+//	               [-max-query-parallelism N]
 //	               [-readonly] [-save] [-legacy-eval] [-legacy-sciql]
+//
+// -max-query-parallelism bounds the morsel parallelism of ONE query
+// through the vectorized executor (0 = all cores, 1 = serial); the
+// process-wide slot-budget pool still caps total extra goroutines
+// across all concurrent queries and kernels at GOMAXPROCS-1. Prefix any
+// read statement with EXPLAIN to see the physical plan the
+// statistics-backed planner chose — estimated vs. measured
+// cardinalities per operator and the morsel parallelism used.
 //
 // With -data-dir the store is durable: on boot the newest valid
 // snapshot in the directory is loaded and the write-ahead log replayed
@@ -69,6 +78,7 @@ type serverConfig struct {
 	maxConc         int
 	queueDepth      int
 	timeout         time.Duration
+	maxQueryPar     int
 	readonly        bool
 	save            bool
 	legacyEval      bool
@@ -88,6 +98,7 @@ func main() {
 	flag.IntVar(&cfg.maxConc, "max-concurrency", 8, "maximum concurrently evaluating queries")
 	flag.IntVar(&cfg.queueDepth, "queue", 0, "query queue depth (0 means 4*max-concurrency, negative for no queue)")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-query evaluation deadline")
+	flag.IntVar(&cfg.maxQueryPar, "max-query-parallelism", 0, "morsel-parallel workers per query (0 = all cores, 1 = serial)")
 	flag.BoolVar(&cfg.readonly, "readonly", false, "reject UPDATE statements")
 	flag.BoolVar(&cfg.save, "save", false, "deprecated: write the store back to -store on graceful shutdown (prefer -data-dir)")
 	flag.BoolVar(&cfg.legacyEval, "legacy-eval", false, "use the legacy binding-at-a-time evaluator instead of the vectorized id-space executor")
@@ -214,6 +225,7 @@ func run(cfg serverConfig) error {
 
 	eng := stsparql.New(st)
 	eng.DisableVectorized = cfg.legacyEval
+	eng.MaxParallelism = cfg.maxQueryPar
 	epCfg := endpoint.Config{
 		Engine:         eng,
 		Store:          st,

@@ -9,6 +9,8 @@ package array
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // Dim describes one array dimension: a name and its extent [0, Size).
@@ -215,7 +217,7 @@ func (a *Array) Map(f func(float64) float64) *Array {
 		}
 		return out
 	}
-	ParallelRange(len(out.Data), func(lo, hi int) {
+	parallel.Range(len(out.Data), func(lo, hi int) {
 		data := out.Data[lo:hi]
 		if out.Null == nil {
 			for i, v := range data {
@@ -268,7 +270,7 @@ func Combine(a, b *Array, f func(x, y float64) float64) (*Array, error) {
 		combine(0, len(out.Data))
 	} else {
 		// f runs tile-parallel; it must be safe for concurrent calls.
-		ParallelRange(len(out.Data), combine)
+		parallel.Range(len(out.Data), combine)
 	}
 	return out, nil
 }
@@ -333,7 +335,7 @@ func (a *Array) Summarize() Stats {
 		}
 		nBlocks := (n + summarizeBlock - 1) / summarizeBlock
 		parts := make([]partial, nBlocks)
-		ParallelRange(nBlocks, func(lo, hi int) {
+		parallel.Range(nBlocks, func(lo, hi int) {
 			for b := lo; b < hi; b++ {
 				p := partial{min: math.Inf(1), max: math.Inf(-1)}
 				end := (b + 1) * summarizeBlock

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 func benchImage(size int) *Array {
@@ -102,8 +104,8 @@ func BenchmarkAblationParallelKernels(b *testing.B) {
 		mask := img.Threshold(0.9)
 		for _, workers := range workerSet {
 			b.Run(fmt.Sprintf("size=%d/workers=%d", size, workers), func(b *testing.B) {
-				prev := SetParallelism(workers)
-				defer SetParallelism(prev)
+				prev := parallel.SetParallelism(workers)
+				defer parallel.SetParallelism(prev)
 				for i := 0; i < b.N; i++ {
 					if _, err := img.Convolve2D(kernel); err != nil {
 						b.Fatal(err)

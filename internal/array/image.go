@@ -3,6 +3,8 @@ package array
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // 2D image operations used by the NOA processing chain: convolution,
@@ -312,11 +314,11 @@ func (a *Array) ConnectedComponents() ([]Component, error) {
 	// Phase 1: label disjoint row strips in parallel. Links never cross a
 	// strip boundary, so strips touch disjoint parent ranges.
 	stripRows := h
-	if workers := Parallelism(); workers > 1 && n >= minParallelCells {
+	if workers := parallel.Parallelism(); workers > 1 && n >= minParallelCells {
 		stripRows = (h + workers - 1) / workers
 	}
 	nStrips := (h + stripRows - 1) / stripRows
-	ParallelRange(nStrips, func(s0, s1 int) {
+	parallel.Range(nStrips, func(s0, s1 int) {
 		for s := s0; s < s1; s++ {
 			y0, y1 := s*stripRows, (s+1)*stripRows
 			if y1 > h {

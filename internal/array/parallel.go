@@ -1,126 +1,26 @@
 package array
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "repro/internal/parallel"
 
-// Shared tile-parallel execution. The 2D kernels (Convolve2D, Resample,
-// Tile, ConnectedComponents, Summarize, Map, Combine) split their row or
-// cell ranges into chunks; the ingestion tier (internal/ingest) and the
-// NOA chain (internal/noa, internal/kdd) fan their patch and annotation
-// work over the same machinery, so one process never oversubscribes the
-// machine: a global slot budget of GOMAXPROCS-1 bounds the extra
-// goroutines in flight across ALL concurrent callers.
-//
-// Slots are acquired with a non-blocking try: when none are free — or
-// when a parallel section nests inside another — the chunk simply runs
-// inline on the caller's goroutine. Workers never wait for a slot and
-// spawned chunks always terminate, so nesting cannot deadlock. Small
-// inputs skip the machinery entirely. SetParallelism bounds the number
-// of chunks per call (the cores-scaling ablation measures 1, 2, 4 and
+// The 2D kernels (Convolve2D, Resample, Tile, ConnectedComponents,
+// Summarize, Map, Combine) split their row or cell ranges over the
+// process-wide slot-budget pool in internal/parallel, shared with the
+// ingestion tier, the NOA chain and the stSPARQL morsel executor. Small
+// inputs skip the machinery entirely; parallel.SetParallelism bounds the
+// chunks per call (the cores-scaling ablation measures 1, 2, 4 and
 // GOMAXPROCS).
-
-var (
-	slotsOnce  sync.Once
-	extraSlots chan struct{}
-	// parallelism is the maximum number of concurrent chunks per
-	// ParallelRange call; 0 means GOMAXPROCS.
-	parallelism atomic.Int32
-)
 
 // minParallelCells is the smallest range worth splitting: below this the
 // goroutine handoff costs more than the work.
 const minParallelCells = 16 << 10
 
-// Parallelism reports the current worker bound (GOMAXPROCS when unset).
-func Parallelism() int {
-	if n := int(parallelism.Load()); n > 0 {
-		return n
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// SetParallelism bounds the number of concurrently executing chunks per
-// parallel kernel call; n <= 0 restores the default (GOMAXPROCS). It
-// returns the previous bound (0 meaning default) so ablations can restore
-// it.
-func SetParallelism(n int) int {
-	prev := int(parallelism.Load())
-	if n < 0 {
-		n = 0
-	}
-	parallelism.Store(int32(n))
-	return prev
-}
-
-// acquireSlot claims one extra-goroutine slot without blocking.
-func acquireSlot() bool {
-	slotsOnce.Do(func() {
-		n := runtime.GOMAXPROCS(0) - 1
-		if n < 0 {
-			n = 0
-		}
-		// Capacity 0 makes the try-send below always fail: single-CPU
-		// machines run everything inline.
-		extraSlots = make(chan struct{}, n)
-	})
-	select {
-	case extraSlots <- struct{}{}:
-		return true
-	default:
-		return false
-	}
-}
-
-func releaseSlot() { <-extraSlots }
-
-// ParallelRange runs fn over [0, n) split into contiguous chunks, one
-// chunk per worker, waiting for all chunks. fn must be safe to call
-// concurrently on disjoint ranges. Small ranges (and Parallelism() == 1)
-// run inline.
-func ParallelRange(n int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers := Parallelism()
-	if workers <= 1 || n < 2 {
-		fn(0, n)
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := chunk; lo < n; lo += chunk {
-		lo, hi := lo, lo+chunk
-		if hi > n {
-			hi = n
-		}
-		if acquireSlot() {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer releaseSlot()
-				fn(lo, hi)
-			}()
-		} else {
-			fn(lo, hi)
-		}
-	}
-	// The caller's goroutine always takes the first chunk.
-	fn(0, chunk)
-	wg.Wait()
-}
-
-// parallelRows is ParallelRange gated on total work: kernels call it with
-// the row count and the cells-per-row so tiny images skip the machinery.
+// parallelRows is parallel.Range gated on total work: kernels call it
+// with the row count and the cells-per-row so tiny images skip the
+// machinery.
 func parallelRows(rows, cellsPerRow int, fn func(lo, hi int)) {
 	if rows*cellsPerRow < minParallelCells {
 		fn(0, rows)
 		return
 	}
-	ParallelRange(rows, fn)
+	parallel.Range(rows, fn)
 }

@@ -3,8 +3,9 @@ package array
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 func randImage(rng *rand.Rand, h, w int, withNulls bool) *Array {
@@ -73,9 +74,9 @@ func TestParallelKernelEquivalence(t *testing.T) {
 	for i, img := range images {
 		var ref outcome
 		for _, workers := range []int{1, 2, 0} {
-			prev := SetParallelism(workers)
+			prev := parallel.SetParallelism(workers)
 			got := run(img)
-			SetParallelism(prev)
+			parallel.SetParallelism(prev)
 			if workers == 1 {
 				ref = got
 				continue
@@ -120,9 +121,9 @@ func TestConnectedComponentsStripMerge(t *testing.T) {
 		}
 	}
 	for _, workers := range []int{1, 3, 0} {
-		prev := SetParallelism(workers)
+		prev := parallel.SetParallelism(workers)
 		comps, err := a.ConnectedComponents()
-		SetParallelism(prev)
+		parallel.SetParallelism(prev)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,28 +141,6 @@ func TestConnectedComponentsStripMerge(t *testing.T) {
 	}
 }
 
-// TestParallelPoolSharedAcrossGoroutines hammers the pool from many
-// goroutines at once (nested use saturates the task queue and falls back
-// to inline execution rather than deadlocking).
-func TestParallelPoolSharedAcrossGoroutines(t *testing.T) {
-	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			total := make([]int, 1<<17)
-			ParallelRange(len(total), func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					total[i] = i + g
-				}
-			})
-			for i := range total {
-				if total[i] != i+g {
-					t.Errorf("goroutine %d: cell %d = %d", g, i, total[i])
-					return
-				}
-			}
-		}(g)
-	}
-	wg.Wait()
-}
+// The shared-pool stress test lives in internal/parallel (the pool's
+// home package) since the extraction; the kernel-level equivalence
+// tests above keep pinning bit-identical results per worker count.

@@ -36,12 +36,15 @@ import (
 	"repro/internal/stsparql"
 )
 
-// QueryEngine evaluates one parsed stSPARQL statement. *stsparql.Engine
-// implements it; tests substitute slow or failing engines. The handler
-// parses before dispatching (for 400s, update gating, and serialisation),
-// so the engine receives the already-parsed query and never re-parses.
+// QueryEngine evaluates one parsed stSPARQL statement under the
+// request's context (carrying the per-query deadline, so a timed-out or
+// disconnected request stops the evaluation instead of orphaning it).
+// *stsparql.Engine implements it; tests substitute slow or failing
+// engines. The handler parses before dispatching (for 400s, update
+// gating, and serialisation), so the engine receives the already-parsed
+// query and never re-parses.
 type QueryEngine interface {
-	Eval(q *stsparql.Query) (*stsparql.Result, error)
+	EvalContext(ctx context.Context, q *stsparql.Query) (*stsparql.Result, error)
 }
 
 // errEvalPanic wraps a panic recovered from the evaluator so the
@@ -255,6 +258,14 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	update := isUpdateForm(parsed.Form)
+	// An EXPLAIN result is a binding table (?plan rows) no matter which
+	// read form was explained, so negotiation and serialisation treat it
+	// as SELECT — otherwise EXPLAIN ASK would render a bare boolean and
+	// EXPLAIN CONSTRUCT an empty graph.
+	serForm := parsed.Form
+	if parsed.Explain {
+		serForm = stsparql.FormSelect
+	}
 	var format Format
 	if update {
 		if s.cfg.ReadOnly {
@@ -270,7 +281,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		// Update responses are always JSON; Accept does not apply.
 	} else {
 		var negErr *negotiationError
-		format, negErr = negotiateFormat(r.URL.Query().Get("format"), r.Header.Get("Accept"), parsed.Form)
+		format, negErr = negotiateFormat(r.URL.Query().Get("format"), r.Header.Get("Accept"), serForm)
 		if negErr != nil {
 			http.Error(w, negErr.message, negErr.status)
 			return
@@ -318,7 +329,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", format.ContentType())
-	if err := writeResult(w, res, parsed.Form, format, s.resolveGeom); err != nil {
+	if err := writeResult(w, res, serForm, format, s.resolveGeom); err != nil {
 		// Headers are gone; all we can do is drop the connection.
 		return
 	}
@@ -383,7 +394,7 @@ func (s *Server) evaluate(ctx context.Context, src string, parsed *stsparql.Quer
 			if s.cfg.Store != nil {
 				vetoes = s.cfg.Store.JournalVetoes()
 			}
-			res, evalErr = s.cfg.Engine.Eval(parsed)
+			res, evalErr = s.cfg.Engine.EvalContext(ctx, parsed)
 			if evalErr == nil && s.cfg.Store != nil && s.cfg.Store.JournalVetoes() != vetoes {
 				evalErr = fmt.Errorf("%w: %v", errJournalVeto, s.cfg.Store.JournalErr())
 			}
@@ -391,7 +402,7 @@ func (s *Server) evaluate(ctx context.Context, src string, parsed *stsparql.Quer
 		}
 		s.updateMu.RLock()
 		defer s.updateMu.RUnlock()
-		res, evalErr = s.cfg.Engine.Eval(parsed)
+		res, evalErr = s.cfg.Engine.EvalContext(ctx, parsed)
 	}); err != nil {
 		return nil, err
 	}

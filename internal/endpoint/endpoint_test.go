@@ -1,6 +1,7 @@
 package endpoint
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -517,18 +518,18 @@ type slowEngine struct {
 	gate  chan struct{} // when non-nil, Query blocks until it closes
 }
 
-func (s *slowEngine) Eval(q *stsparql.Query) (*stsparql.Result, error) {
+func (s *slowEngine) EvalContext(ctx context.Context, q *stsparql.Query) (*stsparql.Result, error) {
 	if s.gate != nil {
 		<-s.gate
 	} else {
 		time.Sleep(s.delay)
 	}
-	return s.inner.Eval(q)
+	return s.inner.EvalContext(ctx, q)
 }
 
 type panickyEngine struct{}
 
-func (panickyEngine) Eval(q *stsparql.Query) (*stsparql.Result, error) {
+func (panickyEngine) EvalContext(ctx context.Context, q *stsparql.Query) (*stsparql.Result, error) {
 	panic("evaluator bug")
 }
 
@@ -577,6 +578,105 @@ func TestQueryTimeout503(t *testing.T) {
 	}
 	if srv.pool.Stats().TimedOut != 1 {
 		t.Fatalf("pool stats = %+v", srv.pool.Stats())
+	}
+}
+
+// ctxEngine blocks until the evaluation context is cancelled, proving
+// the deadline reaches the engine (not just the pool wrapper).
+type ctxEngine struct{ sawCancel chan struct{} }
+
+func (c *ctxEngine) EvalContext(ctx context.Context, q *stsparql.Query) (*stsparql.Result, error) {
+	<-ctx.Done()
+	close(c.sawCancel)
+	return nil, ctx.Err()
+}
+
+// TestTimeoutCancelsEvaluation: the per-query deadline must propagate
+// into the engine's context so a timed-out query STOPS evaluating
+// instead of running to completion after the client is gone.
+func TestTimeoutCancelsEvaluation(t *testing.T) {
+	st, _ := fixture()
+	ce := &ctxEngine{sawCancel: make(chan struct{})}
+	srv, err := NewServer(Config{
+		Engine:       ce,
+		Store:        st,
+		QueryTimeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, body := get(t, ts.URL, `ASK { ?s ?p ?o }`, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	select {
+	case <-ce.sawCancel:
+	case <-time.After(2 * time.Second):
+		t.Fatal("engine never observed the cancelled context")
+	}
+}
+
+// TestExplainOverHTTP: an EXPLAIN statement flows through the protocol
+// endpoint as an ordinary SELECT result with the single ?plan variable.
+func TestExplainOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, body := get(t, ts.URL, "EXPLAIN "+townQuery, http.Header{"Accept": {"application/sparql-results+json"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]struct {
+				Value string `json:"value"`
+			} `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(doc.Head.Vars) != 1 || doc.Head.Vars[0] != "plan" {
+		t.Fatalf("vars = %v, want [plan]", doc.Head.Vars)
+	}
+	if len(doc.Results.Bindings) < 4 {
+		t.Fatalf("plan has %d lines, want at least header + 3 operators", len(doc.Results.Bindings))
+	}
+	all := ""
+	for _, b := range doc.Results.Bindings {
+		all += b["plan"].Value + "\n"
+	}
+	for _, want := range []string{"est=", "rows=", "workers=", "order=statistics", "project"} {
+		if !strings.Contains(all, want) {
+			t.Fatalf("plan missing %q:\n%s", want, all)
+		}
+	}
+	// EXPLAIN ASK / CONSTRUCT serialise as binding tables too — not as
+	// a bare boolean or an empty graph (regression: serialisation used
+	// to follow the explained form).
+	resp, body = get(t, ts.URL, `EXPLAIN ASK { ?s ?p ?o }`, http.Header{"Accept": {"text/csv"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("EXPLAIN ASK status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "ASK") || !strings.Contains(string(body), "est=") {
+		t.Fatalf("EXPLAIN ASK body is not a plan:\n%s", body)
+	}
+	resp, body = get(t, ts.URL, `EXPLAIN CONSTRUCT { ?s a <http://ex/T> } WHERE { ?s ?p ?o }`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("EXPLAIN CONSTRUCT status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "CONSTRUCT") || !strings.Contains(string(body), "est=") {
+		t.Fatalf("EXPLAIN CONSTRUCT body is not a plan:\n%s", body)
+	}
+
+	// EXPLAIN of an update is rejected at parse time with a 400.
+	resp, _ = get(t, ts.URL, `EXPLAIN INSERT DATA { <http://ex/a> <http://ex/b> <http://ex/c> }`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("EXPLAIN update status = %d, want 400", resp.StatusCode)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/geo"
+	"repro/internal/parallel"
 	"repro/internal/raster"
 	"repro/internal/rdf"
 	"repro/internal/sciql"
@@ -106,7 +107,7 @@ func Georeference(img *array.Array, src raster.GeoRef, dst raster.GeoRef, dstH, 
 	// workers never race on its lazy construction, and dropped again when
 	// every destination cell found a source.
 	out.Null = make([]bool, len(out.Data))
-	array.ParallelRange(dstH, func(y0, y1 int) {
+	parallel.Range(dstH, func(y0, y1 int) {
 		for y := y0; y < y1; y++ {
 			for x := 0; x < dstW; x++ {
 				p := dst.PixelToLonLat(y, x)
@@ -181,7 +182,7 @@ func ExtractPatches(img *array.Array, size int) ([]PatchFeatures, error) {
 	cols := (w + size - 1) / size
 	grid := make([]PatchFeatures, rows*cols)
 	valid := make([]bool, rows*cols)
-	array.ParallelRange(rows, func(py0, py1 int) {
+	parallel.Range(rows, func(py0, py1 int) {
 		for py := py0; py < py1; py++ {
 			for px := 0; px < cols; px++ {
 				pf := PatchFeatures{Row: py, Col: px}

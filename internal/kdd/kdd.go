@@ -14,6 +14,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/ingest"
 	"repro/internal/ontology"
+	"repro/internal/parallel"
 	"repro/internal/raster"
 	"repro/internal/rdf"
 	"repro/internal/strdf"
@@ -240,7 +241,7 @@ func AnnotatePatches(productIRI string, img *array.Array, gr raster.GeoRef, patc
 	results := make([]Annotation, len(patches))
 	keep := make([]bool, len(patches))
 	errs := make([]error, len(patches))
-	array.ParallelRange(len(patches), func(lo, hi int) {
+	parallel.Range(len(patches), func(lo, hi int) {
 		var feat [13]float64
 		for i := lo; i < hi; i++ {
 			p := patches[i]

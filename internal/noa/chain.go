@@ -15,6 +15,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/ingest"
 	"repro/internal/kdd"
+	"repro/internal/parallel"
 	"repro/internal/raster"
 	"repro/internal/sciql"
 )
@@ -155,7 +156,7 @@ func (c Chain) vectorize(frameID string, ts time.Time, sensor string,
 	// result order is fixed by the sort below either way.
 	results := make([]Hotspot, len(comps))
 	keep := make([]bool, len(comps))
-	array.ParallelRange(len(comps), func(lo, hi int) {
+	parallel.Range(len(comps), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			comp := comps[i]
 			if comp.Size() < minPix {

@@ -1,0 +1,141 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRangeCoversEveryIndex checks that Range touches each index exactly
+// once at several worker bounds, including bounds above GOMAXPROCS.
+func TestRangeCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		prev := SetParallelism(workers)
+		for _, n := range []int{0, 1, 7, 1000, 1 << 15} {
+			var hits sync.Map
+			var count atomic.Int64
+			Range(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if _, dup := hits.LoadOrStore(i, true); dup {
+						t.Errorf("workers=%d n=%d: index %d visited twice", workers, n, i)
+					}
+					count.Add(1)
+				}
+			})
+			if got := count.Load(); got != int64(n) {
+				t.Fatalf("workers=%d n=%d: visited %d indexes", workers, n, got)
+			}
+		}
+		SetParallelism(prev)
+	}
+}
+
+// TestMorselsDeterministicDecomposition pins the morsel boundary
+// contract the query executor relies on: morsel m covers
+// [m*size, min(n, (m+1)*size)) at EVERY worker count.
+func TestMorselsDeterministicDecomposition(t *testing.T) {
+	const n, size = 1003, 64
+	want := (n + size - 1) / size
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		bounds := make([][2]int, want)
+		nm := Morsels(n, size, workers, func(m, lo, hi int) {
+			bounds[m] = [2]int{lo, hi}
+		})
+		if nm != want {
+			t.Fatalf("workers=%d: morsel count %d, want %d", workers, nm, want)
+		}
+		for m := 0; m < nm; m++ {
+			wantLo := m * size
+			wantHi := wantLo + size
+			if wantHi > n {
+				wantHi = n
+			}
+			if bounds[m] != [2]int{wantLo, wantHi} {
+				t.Fatalf("workers=%d morsel %d: bounds %v, want [%d %d]",
+					workers, m, bounds[m], wantLo, wantHi)
+			}
+		}
+	}
+}
+
+// TestMorselsWorkStealing forces real concurrency (GOMAXPROCS raised
+// above 1 for the duration) and checks every morsel runs exactly once
+// even with pathological skew in per-morsel cost.
+func TestMorselsWorkStealing(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const n, size = 4096, 32
+	var ran [n / size]atomic.Int32
+	var spin atomic.Int64
+	Morsels(n, size, 4, func(m, lo, hi int) {
+		ran[m].Add(1)
+		// Skew: early morsels are ~100x more expensive.
+		iters := 1
+		if m < 4 {
+			iters = 100
+		}
+		for i := 0; i < iters*1000; i++ {
+			spin.Add(1)
+		}
+	})
+	for m := range ran {
+		if got := ran[m].Load(); got != 1 {
+			t.Fatalf("morsel %d ran %d times", m, got)
+		}
+	}
+}
+
+// TestPoolSharedAcrossGoroutines hammers the pool from many goroutines
+// at once: saturation falls back to inline execution rather than
+// deadlocking, and every caller still sees its own full range.
+func TestPoolSharedAcrossGoroutines(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			total := make([]int, 1<<15)
+			Range(len(total), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					total[i] = i + g
+				}
+			})
+			for i := range total {
+				if total[i] != i+g {
+					t.Errorf("goroutine %d: cell %d = %d", g, i, total[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestBudgetTracksGOMAXPROCS: the slot budget is re-read per acquire, so
+// raising GOMAXPROCS after first use still grants slots (the historical
+// channel-based pool froze its capacity at first touch).
+func TestBudgetTracksGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	// At GOMAXPROCS=1 the budget is zero: no slot may be acquired.
+	if acquireSlot() {
+		releaseSlot()
+		t.Fatal("acquired a slot with GOMAXPROCS=1")
+	}
+	runtime.GOMAXPROCS(3)
+	if !acquireSlot() {
+		t.Fatal("no slot available after raising GOMAXPROCS")
+	}
+	releaseSlot()
+}
+
+// TestSetParallelismRestores checks the previous-bound return contract.
+func TestSetParallelismRestores(t *testing.T) {
+	prev := SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", got)
+	}
+	if back := SetParallelism(prev); back != 3 {
+		t.Fatalf("SetParallelism returned %d, want 3", back)
+	}
+}

@@ -6,8 +6,8 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/array"
 	"repro/internal/column"
+	"repro/internal/parallel"
 )
 
 // The legacy-vs-vectorized equivalence suite: randomized SELECT, UPDATE
@@ -361,8 +361,8 @@ func TestVectorizedEquivalenceRandomized(t *testing.T) {
 	// (the vectorized-off mode IS the legacy reference itself).
 	for _, workers := range []int{1, 2, 0} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			prev := array.SetParallelism(workers)
-			defer array.SetParallelism(prev)
+			prev := parallel.SetParallelism(workers)
+			defer parallel.SetParallelism(prev)
 			runEquivSuite(t, 20260729+int64(workers), 260)
 		})
 	}

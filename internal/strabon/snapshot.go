@@ -2,6 +2,7 @@ package strabon
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/rdf"
@@ -27,6 +28,12 @@ type Snapshot struct {
 	geoms   map[uint64]strdf.SpatialValue
 	spatial *rtree.Tree
 	useIdx  bool
+
+	// stats is the planner's statistics view, built lazily once per
+	// snapshot (the first planned query pays the O(n) pass; every later
+	// query against the same store version reuses it).
+	statsOnce sync.Once
+	stats     *SnapshotStats
 }
 
 // Snapshot returns the current read view, building and caching it when the
@@ -282,6 +289,84 @@ func (sn *Snapshot) GeomIDs() []uint64 {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// PredicateStats summarises one predicate's triples for the planner.
+type PredicateStats struct {
+	// Count is the number of triples with this predicate.
+	Count int
+	// DistinctS / DistinctO count the distinct subjects / objects among
+	// those triples: Count/DistinctS is the expected matches of
+	// (?s p ?o) once ?s is bound — the classic equality-selectivity
+	// estimate the join planner uses in place of a fixed discount.
+	DistinctS int
+	DistinctO int
+}
+
+// SnapshotStats is the statistics view the stSPARQL planner feeds on:
+// per-predicate triple and distinct-subject/object counts plus global
+// distinct counts, computed once per snapshot.
+type SnapshotStats struct {
+	Triples   int
+	DistinctS int
+	DistinctP int
+	DistinctO int
+	// Geoms is the number of spatial literals with a cached geometry
+	// (the R-tree population, the denominator of spatial selectivity).
+	Geoms int
+	Pred  map[uint64]PredicateStats
+}
+
+// Stats returns the snapshot's planner statistics, computing them on
+// first use and caching them for the snapshot's lifetime. Safe for
+// concurrent callers.
+func (sn *Snapshot) Stats() *SnapshotStats {
+	sn.statsOnce.Do(func() { sn.stats = sn.buildStats() })
+	return sn.stats
+}
+
+func (sn *Snapshot) buildStats() *SnapshotStats {
+	st := &SnapshotStats{
+		Triples:   len(sn.S),
+		DistinctS: len(sn.byS),
+		DistinctP: len(sn.byP),
+		DistinctO: len(sn.byO),
+		Geoms:     len(sn.geoms),
+		Pred:      make(map[uint64]PredicateStats, len(sn.byP)),
+	}
+	// Distinct subjects/objects per predicate via epoch marking: one
+	// shared mark slot per dictionary id, bumped per predicate, so the
+	// whole pass is O(rows) with no per-predicate set allocations.
+	markS := make([]uint32, sn.dict.Len()+1)
+	markO := make([]uint32, sn.dict.Len()+1)
+	epoch := uint32(0)
+	for pid, rows := range sn.byP {
+		epoch++
+		ds, do := 0, 0
+		for _, r := range rows {
+			if s := sn.S[r]; markS[s] != epoch {
+				markS[s] = epoch
+				ds++
+			}
+			if o := sn.O[r]; markO[o] != epoch {
+				markO[o] = epoch
+				do++
+			}
+		}
+		st.Pred[pid] = PredicateStats{Count: len(rows), DistinctS: ds, DistinctO: do}
+	}
+	return st
+}
+
+// SpatialSelectivity estimates the fraction of stored geometries whose
+// envelope intersects box, by counting R-tree candidates. Exact for the
+// candidate-set pruning the executor performs (which is envelope-based
+// too), so the planner's spatial estimates are as good as the index.
+func (sn *Snapshot) SpatialSelectivity(box geo.Envelope) float64 {
+	if len(sn.geoms) == 0 {
+		return 0
+	}
+	return float64(len(sn.SpatialCandidates(box))) / float64(len(sn.geoms))
 }
 
 // DecodeAll decodes a batch of ids under one dictionary lock, writing into

@@ -1,5 +1,8 @@
 package strabon
 
+// Snapshot statistics tests live alongside the snapshot tests: the
+// planner's estimates are only as good as these counts.
+
 import (
 	"fmt"
 	"testing"
@@ -188,5 +191,82 @@ func TestRemoveSortedPostingLists(t *testing.T) {
 	}
 	if st.Len() != 95 {
 		t.Fatalf("Len = %d", st.Len())
+	}
+}
+
+// TestSnapshotStats pins the planner statistics: per-predicate counts,
+// distinct subject/object counts, global distincts, and lazy caching.
+func TestSnapshotStats(t *testing.T) {
+	st := NewStore()
+	// 6 subjects typed Thing (one type object), 3 with val (distinct
+	// objects), plus one subject linking to two others.
+	for i := 0; i < 6; i++ {
+		st.Add(rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://ex/s%d", i)),
+			rdf.IRI(rdf.RDFType),
+			rdf.IRI("http://ex/Thing")))
+	}
+	for i := 0; i < 3; i++ {
+		st.Add(rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://ex/s%d", i)),
+			rdf.IRI("http://ex/val"),
+			rdf.IntegerLiteral(int64(i))))
+	}
+	st.Add(rdf.NewTriple(rdf.IRI("http://ex/s0"), rdf.IRI("http://ex/link"), rdf.IRI("http://ex/s1")))
+	st.Add(rdf.NewTriple(rdf.IRI("http://ex/s0"), rdf.IRI("http://ex/link"), rdf.IRI("http://ex/s2")))
+
+	sn := st.Snapshot()
+	stats := sn.Stats()
+	if stats.Triples != 11 {
+		t.Fatalf("Triples = %d, want 11", stats.Triples)
+	}
+	if stats.DistinctS != 6 || stats.DistinctP != 3 {
+		t.Fatalf("DistinctS/P = %d/%d, want 6/3", stats.DistinctS, stats.DistinctP)
+	}
+	typeID, _ := st.LookupID(rdf.IRI(rdf.RDFType))
+	valID, _ := st.LookupID(rdf.IRI("http://ex/val"))
+	linkID, _ := st.LookupID(rdf.IRI("http://ex/link"))
+	if ps := stats.Pred[typeID]; ps.Count != 6 || ps.DistinctS != 6 || ps.DistinctO != 1 {
+		t.Fatalf("rdf:type stats = %+v, want {6 6 1}", ps)
+	}
+	if ps := stats.Pred[valID]; ps.Count != 3 || ps.DistinctS != 3 || ps.DistinctO != 3 {
+		t.Fatalf("val stats = %+v, want {3 3 3}", ps)
+	}
+	if ps := stats.Pred[linkID]; ps.Count != 2 || ps.DistinctS != 1 || ps.DistinctO != 2 {
+		t.Fatalf("link stats = %+v, want {2 1 2}", ps)
+	}
+	if again := sn.Stats(); again != stats {
+		t.Fatal("Stats not cached per snapshot")
+	}
+	// A mutation yields a fresh snapshot with fresh statistics.
+	st.Add(rdf.NewTriple(rdf.IRI("http://ex/s7"), rdf.IRI(rdf.RDFType), rdf.IRI("http://ex/Thing")))
+	if st.Snapshot().Stats().Triples != 12 {
+		t.Fatal("stats not rebuilt after mutation")
+	}
+}
+
+// TestSpatialSelectivity: the R-tree-backed fraction matches the
+// candidate count over the geometry population.
+func TestSpatialSelectivity(t *testing.T) {
+	st := NewStore()
+	for i := 0; i < 10; i++ {
+		st.Add(rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://ex/s%d", i)),
+			rdf.IRI("http://ex/geom"),
+			rdf.TypedLiteral(fmt.Sprintf("POINT (%d.5 37.5)", 20+i),
+				"http://strdf.di.uoa.gr/ontology#WKT")))
+	}
+	sn := st.Snapshot()
+	// Window covering 3 of the 10 points (x in 20.5, 21.5, 22.5).
+	sel := sn.SpatialSelectivity(geo.Envelope{MinX: 20, MinY: 37, MaxX: 23, MaxY: 38})
+	if sel < 0.29 || sel > 0.31 {
+		t.Fatalf("selectivity = %v, want 0.3", sel)
+	}
+	if all := sn.SpatialSelectivity(geo.Envelope{MinX: 0, MinY: 0, MaxX: 90, MaxY: 90}); all != 1 {
+		t.Fatalf("full-window selectivity = %v, want 1", all)
+	}
+	empty := NewStore().Snapshot()
+	if sel := empty.SpatialSelectivity(geo.Envelope{MaxX: 1, MaxY: 1}); sel != 0 {
+		t.Fatalf("empty-store selectivity = %v, want 0", sel)
 	}
 }

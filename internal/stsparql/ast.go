@@ -111,6 +111,10 @@ type OrderKey struct {
 type Query struct {
 	Form     QueryForm
 	Prefixes map[string]string
+	// Explain marks an EXPLAIN-prefixed statement: evaluation returns
+	// the executed physical plan (one ?plan row per operator, with
+	// estimated vs. measured cardinalities) instead of the result rows.
+	Explain bool
 	// Select parts.
 	Distinct    bool
 	SelectStar  bool

@@ -1,8 +1,11 @@
 package stsparql
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -146,6 +149,29 @@ func randQuery(rng *rand.Rand) string {
 		SELECT %s%s WHERE { %s }%s`, distinct, sel, strings.Join(body, "\n"), suffix)
 }
 
+// orderedBindings renders bindings as canonical lines in RESULT ORDER
+// (no sorting): the serial-vs-parallel suite demands bit-identical
+// output, row order included.
+func orderedBindings(res *Result) []string {
+	out := make([]string, 0, len(res.Bindings))
+	for _, b := range res.Bindings {
+		var keys []string
+		for k := range b {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k)
+			sb.WriteString("=")
+			sb.WriteString(b[k].String())
+			sb.WriteString("|")
+		}
+		out = append(out, sb.String())
+	}
+	return out
+}
+
 // canonBindings renders bindings as sorted canonical lines.
 func canonBindings(res *Result) []string {
 	out := make([]string, 0, len(res.Bindings))
@@ -218,6 +244,86 @@ func TestExecutorEquivalenceRandomized(t *testing.T) {
 		}
 	}
 	st.SetSpatialIndexEnabled(true)
+}
+
+// forceTinyMorsels drops the morsel thresholds to 1 so the parallel
+// machinery engages even on the small equivalence fixtures, restoring
+// them (and GOMAXPROCS, raised so extra workers can actually spawn) on
+// cleanup.
+func forceTinyMorsels(t *testing.T) {
+	t.Helper()
+	prevJoin, prevFilter := morselMinJoinRows, morselMinFilterRows
+	morselMinJoinRows, morselMinFilterRows = 1, 1
+	prevProcs := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() {
+		morselMinJoinRows, morselMinFilterRows = prevJoin, prevFilter
+		runtime.GOMAXPROCS(prevProcs)
+	})
+}
+
+// TestSerialParallelEquivalence reruns the 400-query randomized corpus
+// through the vectorized executor at morsel parallelism 1, 2, 4 and
+// GOMAXPROCS and demands BIT-IDENTICAL results — same rows, same row
+// order — at every level. Morsel thresholds are forced to 1 so every
+// operator actually fans out.
+func TestSerialParallelEquivalence(t *testing.T) {
+	forceTinyMorsels(t)
+	rng := rand.New(rand.NewSource(20260729))
+	st := equivStore(rng)
+	queries := make([]string, 400)
+	for i := range queries {
+		queries[i] = randQuery(rng)
+	}
+	levels := []int{2, 4, runtime.GOMAXPROCS(0)}
+	serial := New(st)
+	serial.MaxParallelism = 1
+	for qi, query := range queries {
+		sres, serr := serial.Query(query)
+		var want []string
+		if serr == nil {
+			want = orderedBindings(sres)
+		}
+		for _, workers := range levels {
+			par := New(st)
+			par.MaxParallelism = workers
+			pres, perr := par.Query(query)
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("workers=%d query #%d error mismatch:\nserial=%v\nparallel=%v\nquery:\n%s",
+					workers, qi, serr, perr, query)
+			}
+			if serr != nil {
+				continue
+			}
+			got := orderedBindings(pres)
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d query #%d row count: serial=%d parallel=%d\nquery:\n%s",
+					workers, qi, len(want), len(got), query)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("workers=%d query #%d row %d differs (order matters):\nserial:   %s\nparallel: %s\nquery:\n%s",
+						workers, qi, i, want[i], got[i], query)
+				}
+			}
+		}
+	}
+}
+
+// TestContextCancellationStopsEvaluation: a pre-cancelled context must
+// surface as an error from BOTH executors (the legacy evaluator honours
+// -legacy-eval timeouts too), not as an empty result.
+func TestContextCancellationStopsEvaluation(t *testing.T) {
+	st := equivStore(rand.New(rand.NewSource(99)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	query := `SELECT * WHERE { ?s ?p ?o . ?s <http://ex/p2> ?x }`
+	for _, legacy := range []bool{false, true} {
+		eng := New(st)
+		eng.DisableVectorized = legacy
+		if _, err := eng.QueryContext(ctx, query); !errors.Is(err, context.Canceled) {
+			t.Fatalf("legacy=%v: want context.Canceled, got %v", legacy, err)
+		}
+	}
 }
 
 // TestExecutorEquivalenceAggregates covers GROUP BY / aggregate queries,

@@ -1,12 +1,14 @@
 package stsparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/geo"
+	"repro/internal/parallel"
 	"repro/internal/rdf"
 	"repro/internal/strabon"
 	"repro/internal/strdf"
@@ -43,6 +45,12 @@ type Engine struct {
 	// dictionary-id space over a store snapshot; the flag exists for
 	// ablations and old-vs-new equivalence testing.
 	DisableVectorized bool
+	// MaxParallelism bounds the morsel parallelism of one query through
+	// the vectorized executor: how many workers may concurrently pull
+	// row batches from the shared slot-budget pool (internal/parallel).
+	// 0 means the pool's default (GOMAXPROCS); 1 forces serial
+	// execution. teleios-server wires -max-query-parallelism here.
+	MaxParallelism int
 
 	geomMu    sync.Mutex
 	geomCache map[string]strdf.SpatialValue
@@ -68,9 +76,23 @@ func New(store *strabon.Store) *Engine {
 // Store exposes the underlying store.
 func (e *Engine) Store() *strabon.Store { return e.store }
 
+// queryWorkers resolves the engine's per-query morsel-parallelism bound.
+func (e *Engine) queryWorkers() int {
+	if e.MaxParallelism > 0 {
+		return e.MaxParallelism
+	}
+	return parallel.Parallelism()
+}
+
 // Query parses and evaluates one statement; parse results are cached per
 // query text.
 func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query under a cancellation context: evaluation stops
+// (returning the context's error) when ctx is cancelled or times out.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
 	e.planMu.Lock()
 	q, ok := e.planCache[src]
 	e.planMu.Unlock()
@@ -87,7 +109,7 @@ func (e *Engine) Query(src string) (*Result, error) {
 		e.planCache[src] = q
 		e.planMu.Unlock()
 	}
-	return e.Eval(q)
+	return e.EvalContext(ctx, q)
 }
 
 // MustQuery is Query that panics on error; for tests and fixtures.
@@ -101,43 +123,47 @@ func (e *Engine) MustQuery(src string) *Result {
 
 // Eval evaluates a parsed statement.
 func (e *Engine) Eval(q *Query) (*Result, error) {
+	return e.EvalContext(context.Background(), q)
+}
+
+// EvalContext evaluates a parsed statement under a cancellation context.
+// Both executors check ctx at operator and batch boundaries, so an
+// expired endpoint deadline stops the evaluation instead of orphaning
+// it. EXPLAIN statements return the executed physical plan instead of
+// the statement's rows.
+func (e *Engine) EvalContext(ctx context.Context, q *Query) (*Result, error) {
+	if q.Explain {
+		return e.evalExplain(ctx, q)
+	}
 	switch q.Form {
 	case FormSelect:
 		if !e.DisableVectorized {
-			return e.evalSelectVec(q)
+			return e.evalSelectVec(ctx, q)
 		}
-		return e.evalSelect(q)
+		return e.evalSelect(ctx, q)
 	case FormAsk:
 		if !e.DisableVectorized {
-			v := newVexec(e)
-			tb, err := v.evalGroup(q.Where, v.seed())
+			v := newVexec(ctx, e)
+			tb, err := v.evalRoot(q.Where)
 			if err != nil {
 				return nil, err
 			}
 			return &Result{Bool: tb.n() > 0}, nil
 		}
-		bindings, err := e.evalGroup(q.Where, []Binding{{}})
+		bindings, err := e.evalGroup(ctx, q.Where, []Binding{{}})
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Bool: len(bindings) > 0}, nil
 	case FormConstruct:
-		bindings, err := e.solve(q.Where)
+		if !e.DisableVectorized {
+			return e.evalConstructWith(newVexec(ctx, e), q)
+		}
+		bindings, err := e.evalGroup(ctx, q.Where, []Binding{{}})
 		if err != nil {
 			return nil, err
 		}
-		var out []rdf.Triple
-		seen := map[rdf.Triple]bool{}
-		for _, b := range bindings {
-			for _, pat := range q.ConstructTemplate {
-				t, ok := instantiate(pat, b)
-				if ok && !seen[t] {
-					seen[t] = true
-					out = append(out, t)
-				}
-			}
-		}
-		return &Result{Triples: out}, nil
+		return &Result{Triples: constructTriples(q, bindings)}, nil
 	case FormInsertData:
 		return &Result{Affected: e.store.AddAll(q.Data)}, nil
 	case FormDeleteData:
@@ -149,28 +175,55 @@ func (e *Engine) Eval(q *Query) (*Result, error) {
 		}
 		return &Result{Affected: n}, nil
 	case FormModify:
-		return e.evalModify(q)
+		return e.evalModify(ctx, q)
 	}
 	return nil, fmt.Errorf("stsparql: unsupported query form %d", q.Form)
+}
+
+// evalConstructWith runs CONSTRUCT through a caller-supplied vectorized
+// executor (EXPLAIN reuses it to harvest the measured plan).
+func (e *Engine) evalConstructWith(v *vexec, q *Query) (*Result, error) {
+	tb, err := v.evalRoot(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Triples: constructTriples(q, v.decodeTable(tb))}, nil
+}
+
+// constructTriples instantiates the CONSTRUCT template over solved
+// bindings, deduplicating in first-seen order.
+func constructTriples(q *Query, bindings []Binding) []rdf.Triple {
+	var out []rdf.Triple
+	seen := map[rdf.Triple]bool{}
+	for _, b := range bindings {
+		for _, pat := range q.ConstructTemplate {
+			t, ok := instantiate(pat, b)
+			if ok && !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
 }
 
 // solve evaluates a graph pattern to decoded bindings through whichever
 // executor is active; non-SELECT forms (CONSTRUCT, DELETE/INSERT WHERE)
 // need materialised terms anyway, so they share this boundary.
-func (e *Engine) solve(g *Group) ([]Binding, error) {
+func (e *Engine) solve(ctx context.Context, g *Group) ([]Binding, error) {
 	if e.DisableVectorized {
-		return e.evalGroup(g, []Binding{{}})
+		return e.evalGroup(ctx, g, []Binding{{}})
 	}
-	v := newVexec(e)
-	tb, err := v.evalGroup(g, v.seed())
+	v := newVexec(ctx, e)
+	tb, err := v.evalRoot(g)
 	if err != nil {
 		return nil, err
 	}
 	return v.decodeTable(tb), nil
 }
 
-func (e *Engine) evalModify(q *Query) (*Result, error) {
-	bindings, err := e.solve(q.Where)
+func (e *Engine) evalModify(ctx context.Context, q *Query) (*Result, error) {
+	bindings, err := e.solve(ctx, q.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -226,8 +279,8 @@ func instantiate(pat Pattern, b Binding) (rdf.Triple, bool) {
 	return rdf.Triple{S: s, P: p, O: o}, true
 }
 
-func (e *Engine) evalSelect(q *Query) (*Result, error) {
-	bindings, err := e.evalGroup(q.Where, []Binding{{}})
+func (e *Engine) evalSelect(ctx context.Context, q *Query) (*Result, error) {
+	bindings, err := e.evalGroup(ctx, q.Where, []Binding{{}})
 	if err != nil {
 		return nil, err
 	}
@@ -501,19 +554,36 @@ func (e *Engine) orderBindings(bs []Binding, keys []OrderKey) error {
 }
 
 // evalGroup evaluates a graph pattern group, extending the seed bindings.
-func (e *Engine) evalGroup(g *Group, seed []Binding) ([]Binding, error) {
+// The context is checked at group entry and inside the per-binding
+// pattern loops, so cancelled queries stop promptly even on the legacy
+// path.
+func (e *Engine) evalGroup(ctx context.Context, g *Group, seed []Binding) ([]Binding, error) {
 	if g == nil {
 		return seed, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	hints := e.spatialHints(g.Filters)
 	patterns := g.Patterns
 	if !e.DisableOptimizer {
-		patterns = e.orderPatterns(patterns, seed, hints)
+		// The legacy evaluator shares the statistics-backed planner with
+		// the vectorized executor: ordering consults the (cached)
+		// snapshot's statistics, never the fixed per-bound-var discount
+		// it used historically.
+		bound := map[string]bool{}
+		if len(seed) > 0 {
+			for v := range seed[0] {
+				bound[v] = true
+			}
+		}
+		pl := &planner{e: e, snap: e.store.Snapshot()}
+		patterns = pl.orderPatterns(patterns, bound, hints)
 	}
 	bindings := seed
 	for _, pat := range patterns {
 		var err error
-		bindings, err = e.evalPattern(pat, bindings, hints)
+		bindings, err = e.evalPattern(ctx, pat, bindings, hints)
 		if err != nil {
 			return nil, err
 		}
@@ -553,7 +623,7 @@ func (e *Engine) evalGroup(g *Group, seed []Binding) ([]Binding, error) {
 		var next []Binding
 		for _, b := range bindings {
 			for _, alt := range alts {
-				sub, err := e.evalGroup(alt, []Binding{b})
+				sub, err := e.evalGroup(ctx, alt, []Binding{b})
 				if err != nil {
 					return nil, err
 				}
@@ -566,7 +636,7 @@ func (e *Engine) evalGroup(g *Group, seed []Binding) ([]Binding, error) {
 	for _, opt := range g.Optionals {
 		var next []Binding
 		for _, b := range bindings {
-			sub, err := e.evalGroup(opt, []Binding{b})
+			sub, err := e.evalGroup(ctx, opt, []Binding{b})
 			if err != nil {
 				return nil, err
 			}
@@ -587,110 +657,6 @@ func cloneBinding(b Binding) Binding {
 		nb[k] = v
 	}
 	return nb
-}
-
-// cardSource supplies dictionary lookups and cardinality estimates to the
-// greedy pattern orderer; both the live Store and an immutable Snapshot
-// implement it.
-type cardSource interface {
-	LookupID(t rdf.Term) (uint64, error)
-	Cardinality(pat strabon.TriplePattern) int
-}
-
-// orderPatterns greedily orders patterns by estimated result size, treating
-// variables bound by earlier patterns (or the seed) as selective joins.
-func (e *Engine) orderPatterns(patterns []Pattern, seed []Binding, hints map[string]geo.Envelope) []Pattern {
-	bound := map[string]bool{}
-	if len(seed) > 0 {
-		for v := range seed[0] {
-			bound[v] = true
-		}
-	}
-	return orderPatternsWith(e.store, patterns, bound, hints)
-}
-
-// orderPatternsWith is the executor-independent orderer; it mutates bound,
-// so callers pass a fresh map.
-func orderPatternsWith(src cardSource, patterns []Pattern, bound map[string]bool, hints map[string]geo.Envelope) []Pattern {
-	if len(patterns) <= 1 {
-		return patterns
-	}
-	remaining := append([]Pattern(nil), patterns...)
-	var ordered []Pattern
-	for len(remaining) > 0 {
-		bestIdx, bestCost := 0, int(^uint(0)>>1)
-		for i, pat := range remaining {
-			cost := estimateWith(src, pat, bound)
-			// A spatial hint on the object variable prunes the pattern's
-			// matches through the R-tree; run such patterns early.
-			if v := objVar(pat); v != "" {
-				if _, hinted := hints[v]; hinted && !bound[v] {
-					cost = cost/16 + 1
-				}
-			}
-			if cost < bestCost {
-				bestIdx, bestCost = i, cost
-			}
-		}
-		chosen := remaining[bestIdx]
-		ordered = append(ordered, chosen)
-		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
-		if chosen.S.IsVar() {
-			bound[chosen.S.Var] = true
-		}
-		if chosen.P.IsVar() {
-			bound[chosen.P.Var] = true
-		}
-		if chosen.O.IsVar() {
-			bound[chosen.O.Var] = true
-		}
-	}
-	return ordered
-}
-
-// estimateWith scores a pattern: the source cardinality of its constant
-// parts, discounted when variables are already bound (a bound join key
-// typically touches few rows).
-func estimateWith(src cardSource, pat Pattern, bound map[string]bool) int {
-	tp := strabon.TriplePattern{}
-	boundVars := 0
-	resolve := func(pt PatTerm, set func(uint64)) {
-		if pt.IsVar() {
-			if bound[pt.Var] {
-				boundVars++
-			}
-			return
-		}
-		if id, err := src.LookupID(pt.Term); err == nil {
-			set(id)
-		} else {
-			// Unknown constant: the pattern cannot match.
-			set(^uint64(0))
-		}
-	}
-	unmatchable := false
-	wrap := func(dst *uint64) func(uint64) {
-		return func(id uint64) {
-			if id == ^uint64(0) {
-				unmatchable = true
-				return
-			}
-			*dst = id
-		}
-	}
-	resolve(pat.S, wrap(&tp.S))
-	resolve(pat.P, wrap(&tp.P))
-	resolve(pat.O, wrap(&tp.O))
-	if unmatchable {
-		return 0
-	}
-	est := src.Cardinality(tp)
-	// Each already-bound variable restricts the result roughly like an
-	// equality selection; use a /8 discount per bound var.
-	for i := 0; i < boundVars; i++ {
-		est = est/8 + 1
-	}
-	return est
 }
 
 // spatialHints extracts per-variable bounding boxes from filters of the
@@ -775,7 +741,7 @@ func varConstGeom(args []Expression, e *Engine) (string, strdf.SpatialValue, boo
 }
 
 // evalPattern extends each binding with the matches of one pattern.
-func (e *Engine) evalPattern(pat Pattern, bindings []Binding, hints map[string]geo.Envelope) ([]Binding, error) {
+func (e *Engine) evalPattern(ctx context.Context, pat Pattern, bindings []Binding, hints map[string]geo.Envelope) ([]Binding, error) {
 	// Spatial candidate set for an unbound object variable with a hint.
 	var spatialSet map[uint64]bool
 	if env, ok := hints[objVar(pat)]; ok {
@@ -786,7 +752,12 @@ func (e *Engine) evalPattern(pat Pattern, bindings []Binding, hints map[string]g
 		}
 	}
 	var out []Binding
-	for _, b := range bindings {
+	for bi, b := range bindings {
+		if bi&255 == 255 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		tp, ok := e.boundPattern(pat, b)
 		if !ok {
 			continue // a constant term unknown to the store: no matches

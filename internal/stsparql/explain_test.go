@@ -1,0 +1,173 @@
+package stsparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+)
+
+func explainFixture() *strabon.Store {
+	st := strabon.NewStore()
+	// 2000 sites, one needle: the statistics must put the needle pattern
+	// first even though it is written last.
+	for i := 0; i < 2000; i++ {
+		s := rdf.IRI("http://ex/site" + itoa(i))
+		st.Add(rdf.NewTriple(s, rdf.IRI(rdf.RDFType), rdf.IRI("http://ex/Site")))
+		st.Add(rdf.NewTriple(s, rdf.IRI("http://ex/name"), rdf.Literal("site-"+itoa(i))))
+	}
+	st.Add(rdf.NewTriple(rdf.IRI("http://ex/site7"),
+		rdf.IRI("http://ex/isNeedle"), rdf.BooleanLiteral(true)))
+	return st
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func explainText(t *testing.T, eng *Engine, query string) string {
+	t.Helper()
+	res, err := eng.Query(query)
+	if err != nil {
+		t.Fatalf("EXPLAIN failed: %v", err)
+	}
+	if len(res.Vars) != 1 || res.Vars[0] != "plan" {
+		t.Fatalf("EXPLAIN vars = %v, want [plan]", res.Vars)
+	}
+	var lines []string
+	for _, b := range res.Bindings {
+		lines = append(lines, b["plan"].Value)
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestExplainSelect checks the whole contract: estimated AND measured
+// cardinalities appear, the statistics-backed order puts the selective
+// needle pattern before the wide type scan, and the header reports the
+// worker bound.
+func TestExplainSelect(t *testing.T) {
+	eng := New(explainFixture())
+	eng.MaxParallelism = 3
+	plan := explainText(t, eng, `EXPLAIN SELECT ?s WHERE {
+		?s a <http://ex/Site> .
+		?s <http://ex/isNeedle> ?flag .
+	}`)
+	if !strings.Contains(plan, "workers=3") {
+		t.Errorf("plan missing workers bound:\n%s", plan)
+	}
+	if !strings.Contains(plan, "est=") || !strings.Contains(plan, "rows=") {
+		t.Errorf("plan missing est/rows columns:\n%s", plan)
+	}
+	if !strings.Contains(plan, "order=statistics") {
+		t.Errorf("plan missing planner mode:\n%s", plan)
+	}
+	// The needle scan (1 row) must be planned before the Site scan.
+	needleAt := strings.Index(plan, "isNeedle")
+	siteAt := strings.Index(plan, "http://ex/Site")
+	if needleAt < 0 || siteAt < 0 || needleAt > siteAt {
+		t.Errorf("needle pattern not ordered first:\n%s", plan)
+	}
+	// Measured cardinality of the join chain ends at 1 row.
+	if !strings.Contains(plan, "rows=1") {
+		t.Errorf("plan missing the measured 1-row result:\n%s", plan)
+	}
+}
+
+// TestExplainEstimatesVsActuals: on an equality-selective probe the
+// statistics make est match the measured rows exactly (count/distinctS
+// of a functional property is 1 per subject).
+func TestExplainEstimatesVsActuals(t *testing.T) {
+	eng := New(explainFixture())
+	plan := explainText(t, eng, `EXPLAIN SELECT ?s ?n WHERE {
+		?s <http://ex/isNeedle> ?f .
+		?s <http://ex/name> ?n .
+	}`)
+	// scan of isNeedle: est=1 rows=1; join on name: 2000/2000 distinct
+	// subjects -> est=1 rows=1.
+	for _, want := range []string{"est=1", "rows=1"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+// TestExplainForms covers ASK and CONSTRUCT explains plus the syntactic
+// (optimizer-off) mode, and EXPLAIN on unions/optionals/filters.
+func TestExplainForms(t *testing.T) {
+	eng := New(explainFixture())
+	ask := explainText(t, eng, `EXPLAIN ASK { ?s <http://ex/isNeedle> ?f }`)
+	if !strings.Contains(ask, "ASK") {
+		t.Errorf("ASK explain header wrong:\n%s", ask)
+	}
+	cons := explainText(t, eng, `EXPLAIN CONSTRUCT { ?s a <http://ex/Found> } WHERE { ?s <http://ex/isNeedle> ?f }`)
+	if !strings.Contains(cons, "CONSTRUCT") {
+		t.Errorf("CONSTRUCT explain header wrong:\n%s", cons)
+	}
+	rich := explainText(t, eng, `EXPLAIN SELECT ?s WHERE {
+		{ ?s <http://ex/isNeedle> ?f } UNION { ?s <http://ex/name> "site-3" }
+		OPTIONAL { ?s <http://ex/name> ?n }
+		FILTER(BOUND(?s))
+	}`)
+	for _, want := range []string{"union", "optional", "filter", "alt 1", "alt 2"} {
+		if !strings.Contains(rich, want) {
+			t.Errorf("rich explain missing %q:\n%s", want, rich)
+		}
+	}
+	eng.DisableOptimizer = true
+	syn := explainText(t, eng, `EXPLAIN SELECT ?s WHERE { ?s a <http://ex/Site> . ?s <http://ex/isNeedle> ?f }`)
+	if !strings.Contains(syn, "order=syntactic") {
+		t.Errorf("optimizer-off explain missing order=syntactic:\n%s", syn)
+	}
+	// Syntactic order keeps the wide scan first.
+	if siteAt, needleAt := strings.Index(syn, "http://ex/Site"), strings.Index(syn, "isNeedle"); siteAt > needleAt {
+		t.Errorf("syntactic order not preserved:\n%s", syn)
+	}
+}
+
+// TestExplainUpdateRejected: EXPLAIN on updates is a parse error.
+func TestExplainUpdateRejected(t *testing.T) {
+	if _, err := ParseQuery(`EXPLAIN INSERT DATA { <http://ex/a> <http://ex/b> <http://ex/c> }`); err == nil {
+		t.Fatal("EXPLAIN INSERT DATA parsed without error")
+	}
+	if _, err := ParseQuery(`EXPLAIN DELETE { ?s ?p ?o } INSERT { ?s ?p ?o } WHERE { ?s ?p ?o }`); err == nil {
+		t.Fatal("EXPLAIN DELETE/INSERT parsed without error")
+	}
+}
+
+// TestStatsOrderingBeatsBlindDiscount reproduces the planner scenario
+// the fixed /8 discount got wrong: a bound-subject probe on a property
+// held by EVERY subject (name) versus a narrow class scan. The
+// statistics know name has 2000 distinct subjects (1 match per probe);
+// the old heuristic scored it 2001/8 ≈ 250 and could mis-order.
+func TestStatsOrderingBeatsBlindDiscount(t *testing.T) {
+	st := explainFixture()
+	pl := &planner{e: New(st), snap: st.Snapshot()}
+	bound := map[string]bool{"s": true}
+	perRow := pl.estimatePattern(Pattern{
+		S: PatTerm{Var: "s"},
+		P: PatTerm{Term: rdf.IRI("http://ex/name")},
+		O: PatTerm{Var: "n"},
+	}, bound, nil)
+	if perRow > 1.5 {
+		t.Fatalf("bound-subject probe on a functional property estimated %v matches/row, want ~1", perRow)
+	}
+	unboundScan := pl.estimatePattern(Pattern{
+		S: PatTerm{Var: "x"},
+		P: PatTerm{Term: rdf.IRI("http://ex/name")},
+		O: PatTerm{Var: "y"},
+	}, bound, nil)
+	if unboundScan < 1999 {
+		t.Fatalf("unbound scan estimated %v, want ~2000", unboundScan)
+	}
+}

@@ -12,6 +12,7 @@
 //	CONSTRUCT { template } WHERE { ... }
 //	INSERT DATA { triples }      DELETE DATA { triples }
 //	DELETE { template } INSERT { template } WHERE { pattern }
+//	EXPLAIN <read statement>   — returns the physical plan instead of rows
 //
 // FILTER expressions include comparisons, && || !, arithmetic, BOUND, STR,
 // DATATYPE, REGEX, isIRI/isLiteral/isBlank, and the stRDF spatial
@@ -22,9 +23,11 @@
 // strdf:transform). Temporal filters use the strdf:period relations
 // (strdf:during, strdf:overlapsPeriod, strdf:beforePeriod).
 //
-// The evaluator orders basic graph patterns by estimated selectivity and
-// pushes spatial filters into the store's R-tree — the two optimizations
-// the A1 ablation measures.
+// The evaluator compiles each statement into a physical plan ordered by
+// per-snapshot statistics, pushes spatial filters into the store's
+// R-tree, and executes the expensive operators morsel-parallel on the
+// process-wide worker pool (internal/parallel); EXPLAIN renders the
+// executed plan. See docs/performance.md and docs/stsparql.md.
 package stsparql
 
 import (

@@ -32,6 +32,13 @@ func ParseQuery(src string) (*Query, error) {
 	if err := p.parse(); err != nil {
 		return nil, err
 	}
+	if p.q.Explain {
+		switch p.q.Form {
+		case FormSelect, FormAsk, FormConstruct:
+		default:
+			return nil, fmt.Errorf("stsparql: EXPLAIN supports SELECT, ASK and CONSTRUCT, not updates")
+		}
+	}
 	return p.q, nil
 }
 
@@ -70,6 +77,10 @@ func (p *qparser) expect(kind tokKind, text string) error {
 }
 
 func (p *qparser) parse() error {
+	// EXPLAIN prefixes the whole statement (before the prologue).
+	if p.accept(tKeyword, "EXPLAIN") {
+		p.q.Explain = true
+	}
 	for p.accept(tKeyword, "PREFIX") {
 		if !p.at(tPrefixed, "") && !p.at(tSymbol, ":") {
 			// A prefixed token like "ex:" carries the colon.

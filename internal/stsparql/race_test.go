@@ -2,9 +2,11 @@ package stsparql
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"repro/internal/persist"
 	"repro/internal/rdf"
 	"repro/internal/strabon"
 )
@@ -76,5 +78,89 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 	res := eng.MustQuery(`SELECT (COUNT(*) AS ?n) WHERE { ?s a <http://ex/Thing> }`)
 	if len(res.Bindings) != 1 {
 		t.Fatalf("final count query returned %d rows", len(res.Bindings))
+	}
+}
+
+// TestConcurrentParallelQueriesUpdatesCheckpoints exercises the SHARED
+// slot-budget pool under -race: morsel-parallel multi-pattern queries
+// (thresholds forced to 1 so every operator fans out), journalled
+// writes, and background WAL checkpoints all running at once against a
+// durable store. GOMAXPROCS is raised so extra workers really spawn.
+func TestConcurrentParallelQueriesUpdatesCheckpoints(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	prevJoin, prevFilter := morselMinJoinRows, morselMinFilterRows
+	morselMinJoinRows, morselMinFilterRows = 1, 1
+	defer func() { morselMinJoinRows, morselMinFilterRows = prevJoin, prevFilter }()
+
+	mgr, st, err := persist.Open(persist.Options{Dir: t.TempDir(), SyncMode: persist.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	for i := 0; i < 80; i++ {
+		st.Add(rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://ex/s%d", i)),
+			rdf.IRI(rdf.RDFType),
+			rdf.IRI("http://ex/Thing")))
+		st.Add(rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://ex/s%d", i)),
+			rdf.IRI("http://ex/geom"),
+			rdf.TypedLiteral(fmt.Sprintf("POINT (23.%02d 37.%02d)", i%100, i%100),
+				"http://strdf.di.uoa.gr/ontology#WKT")))
+	}
+	eng := New(st)
+	eng.MaxParallelism = 4
+	queries := []string{
+		`SELECT ?s ?g WHERE { ?s a <http://ex/Thing> . ?s <http://ex/geom> ?g }`,
+		`PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
+		 SELECT ?s WHERE {
+			?s a <http://ex/Thing> .
+			?s <http://ex/geom> ?g .
+			FILTER(strdf:intersects(?g, "POLYGON ((23 37, 24 37, 24 38, 23 38, 23 37))"^^strdf:WKT))
+		 }`,
+		`EXPLAIN SELECT ?s ?g WHERE { ?s a <http://ex/Thing> . ?s <http://ex/geom> ?g }`,
+		`ASK { ?s a <http://ex/Thing> }`,
+	}
+	const iters = 60
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := eng.Query(queries[(w+i)%len(queries)]); err != nil {
+					t.Errorf("reader %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			tr := rdf.NewTriple(
+				rdf.IRI(fmt.Sprintf("http://ex/w%d", i)),
+				rdf.IRI(rdf.RDFType),
+				rdf.IRI("http://ex/Thing"))
+			st.Add(tr)
+			if i%3 == 0 {
+				st.Remove(tr)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if err := mgr.Checkpoint(); err != nil {
+				t.Errorf("checkpoint %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := st.JournalErr(); err != nil {
+		t.Fatalf("journal error after run: %v", err)
 	}
 }

@@ -1,0 +1,24 @@
+package stsparql
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// TestTruncRunesUTF8Safe: truncation never splits a multi-byte rune.
+func TestTruncRunesUTF8Safe(t *testing.T) {
+	greek := strings.Repeat("Ολυμπία", 20)
+	for max := 1; max < 60; max++ {
+		got := truncRunes(greek, max)
+		if !utf8.ValidString(got) {
+			t.Fatalf("max=%d: invalid UTF-8 %q", max, got)
+		}
+		if len(got) > max+len("…") {
+			t.Fatalf("max=%d: result %d bytes", max, len(got))
+		}
+	}
+	if got := truncRunes("short", 52); got != "short" {
+		t.Fatalf("short string mangled: %q", got)
+	}
+}

@@ -1,11 +1,13 @@
 package stsparql
 
 import (
+	"context"
 	"encoding/binary"
 	"sort"
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/parallel"
 	"repro/internal/rdf"
 	"repro/internal/strabon"
 	"repro/internal/strdf"
@@ -16,13 +18,41 @@ import (
 // triple pattern is answered with one batched index probe against a store
 // snapshot plus a hash join on the already-bound variables, instead of one
 // locked index probe per (binding × pattern) pair; and terms are decoded
-// back to rdf.Term only at projection, FILTER and BIND boundaries. See
-// docs/performance.md for the design write-up.
+// back to rdf.Term only at projection, FILTER and BIND boundaries.
+//
+// Execution is driven by an explicit physical plan (plan.go): the WHERE
+// group compiles once per evaluation into an operator list whose join
+// order comes from the snapshot's statistics, and the expensive operators
+// — index probes, hash-join probes, filters — run MORSEL-PARALLEL: the
+// input row range splits into fixed-size batches pulled by up to
+// Engine.MaxParallelism workers from the process-wide slot-budget pool
+// (internal/parallel). Each morsel emits into its own output table and
+// the outputs are concatenated in morsel order, so the result is
+// bit-identical to a serial run at every parallelism level. The
+// evaluation context is checked between operators, per morsel, and
+// periodically inside long loops, so endpoint timeouts stop work instead
+// of orphaning it. See docs/performance.md for the design write-up.
 
 // extraBit marks per-query ids for terms absent from the store dictionary
 // (BIND / projection expression results). Extra ids are interned per
 // query, so id equality remains term equality across both id families.
 const extraBit = uint64(1) << 63
+
+// Morsel tunables. Package variables (not constants) so the equivalence
+// tests can force tiny morsels onto small fixtures; production code never
+// mutates them.
+var (
+	// morselMinJoinRows is the smallest probe/materialisation input worth
+	// fanning out: hash probes are cheap per row.
+	morselMinJoinRows = 4096
+	// morselMinFilterRows gates filters and per-row index probes, whose
+	// per-row cost (geometry predicates, expression evaluation, index
+	// lookups) is far higher.
+	morselMinFilterRows = 512
+	// morselsPerWorker is the work-stealing granularity: more morsels
+	// than workers, so a skewed batch self-balances.
+	morselsPerWorker = 4
+)
 
 // vtable is the columnar solution table: n rows of `width` slot values,
 // flattened row-major. Slot value 0 means "unbound" (dictionary ids start
@@ -72,23 +102,36 @@ func (t *vtable) reseed() *vtable {
 // store snapshot, so no store lock is taken per row or per pattern.
 type vexec struct {
 	e    *Engine
+	ctx  context.Context
 	snap *strabon.Snapshot
 	vars []string
 	slot map[string]int
 	// extra holds computed terms outside the store dictionary; extraID
-	// interns them.
+	// interns them. Mutated only by the serial operators (BIND,
+	// projection); morsel workers never intern.
 	extra   []rdf.Term
 	extraID map[rdf.Term]uint64
-	buf     []int32 // scratch for Snapshot.MatchRows
-	scratch Binding // scratch for row-wise generic expression evaluation
+	buf     []int32 // scratch for Snapshot.MatchRows on serial paths
+	scratch Binding // scratch for serial row-wise expression evaluation
+
+	// workers bounds this query's morsel parallelism; plan records the
+	// compiled operator DAG with its estimates and measured cardinalities
+	// (what EXPLAIN renders).
+	workers int
+	plan    *groupPlan
+	planner *planner
 }
 
-func newVexec(e *Engine) *vexec {
+func newVexec(ctx context.Context, e *Engine) *vexec {
 	// extraID and scratch are allocated on first use.
+	snap := e.store.Snapshot()
 	return &vexec{
-		e:    e,
-		snap: e.store.Snapshot(),
-		slot: map[string]int{},
+		e:       e,
+		ctx:     ctx,
+		snap:    snap,
+		slot:    map[string]int{},
+		workers: e.queryWorkers(),
+		planner: &planner{e: e, snap: snap},
 	}
 }
 
@@ -124,7 +167,7 @@ func (v *vexec) term(id uint64) (rdf.Term, bool) {
 }
 
 // idOf interns a computed term: the dictionary id when the store already
-// knows the term, else a per-query extra id.
+// knows the term, else a per-query extra id. Serial-only (see vexec.extra).
 func (v *vexec) idOf(t rdf.Term) uint64 {
 	if id, ok := v.snap.Dict().Lookup(t); ok {
 		return id
@@ -141,59 +184,102 @@ func (v *vexec) idOf(t rdf.Term) uint64 {
 	return id
 }
 
-// evalGroup mirrors the legacy group pipeline (patterns → BIND → FILTER →
-// UNION → OPTIONAL) over the slot table.
-func (v *vexec) evalGroup(g *Group, in *vtable) (*vtable, error) {
-	if g == nil {
-		return in, nil
-	}
-	hints := v.e.spatialHints(g.Filters)
-	patterns := g.Patterns
-	if !v.e.DisableOptimizer {
-		bound := map[string]bool{}
-		for name, s := range v.slot {
-			if s < in.width {
-				bound[name] = true
-			}
-		}
-		patterns = orderPatternsWith(v.snap, patterns, bound, hints)
-	}
+// evalRoot compiles the WHERE group into a physical plan against the
+// snapshot statistics, then executes it over the singleton seed row.
+func (v *vexec) evalRoot(g *Group) (*vtable, error) {
+	v.plan = v.planner.planGroup(g, map[string]bool{}, 1)
+	return v.execGroup(v.plan, v.seed())
+}
+
+// execGroup runs one compiled group: patterns (scan/join), then BIND,
+// FILTER, UNION and OPTIONAL operators, recording measured cardinalities
+// on the plan. Once a pattern produces zero rows the remaining patterns
+// are skipped (they cannot add rows), matching the legacy pipeline.
+func (v *vexec) execGroup(p *groupPlan, in *vtable) (*vtable, error) {
 	cur := in
-	for _, pat := range patterns {
+	skipPatterns := false
+	for _, n := range p.nodes {
+		if err := v.ctx.Err(); err != nil {
+			return nil, err
+		}
 		var err error
-		cur, err = v.evalPattern(pat, cur, hints)
+		switch n.kind {
+		case nodeScan, nodeJoin:
+			if skipPatterns {
+				continue
+			}
+			cur, err = v.evalPattern(n, cur, p.hints)
+			if err == nil && cur.n() == 0 {
+				skipPatterns = true
+			}
+		case nodeBind:
+			cur = v.evalBind(n.bind, cur)
+		case nodeFilter:
+			cur, err = v.evalFilterTable(n, cur)
+		case nodeUnion:
+			cur, err = v.evalUnion(n, cur)
+		case nodeOptional:
+			cur, err = v.evalOptional(n, cur)
+		}
 		if err != nil {
 			return nil, err
 		}
-		if cur.n() == 0 {
-			break
-		}
-	}
-	for _, bc := range g.Binds {
-		cur = v.evalBind(bc, cur)
-	}
-	for _, f := range g.Filters {
-		var err error
-		cur, err = v.evalFilterTable(f, cur)
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, alts := range g.Unions {
-		var err error
-		cur, err = v.evalUnion(alts, cur)
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, opt := range g.Optionals {
-		var err error
-		cur, err = v.evalOptional(opt, cur)
-		if err != nil {
-			return nil, err
-		}
+		n.ran = true
+		n.actual += cur.n()
 	}
 	return cur, nil
+}
+
+// runMorsels executes build over the input range [0, n) in morsel
+// batches on the shared pool, concatenating the per-morsel output tables
+// in morsel order — bit-identical to one serial build(0, n) call.
+// Inputs below minRows (or a worker bound of 1) run serial. Returns the
+// assembled table, the morsel count, and the first error in morsel
+// order (context cancellation surfaces as the context's error).
+func (v *vexec) runMorsels(n, minRows, width int, build func(lo, hi int, out *vtable) error) (*vtable, int, error) {
+	workers := v.workers
+	if workers <= 1 || n < minRows {
+		out := &vtable{width: width}
+		err := build(0, n, out)
+		if err == nil {
+			err = v.ctx.Err()
+		}
+		return out, 1, err
+	}
+	size := (n + workers*morselsPerWorker - 1) / (workers * morselsPerWorker)
+	if size < 64 {
+		size = 64
+	}
+	nm := (n + size - 1) / size
+	parts := make([]*vtable, nm)
+	errs := make([]error, nm)
+	parallel.Morsels(n, size, workers, func(m, lo, hi int) {
+		if err := v.ctx.Err(); err != nil {
+			errs[m] = err
+			return
+		}
+		part := &vtable{width: width}
+		errs[m] = build(lo, hi, part)
+		parts[m] = part
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nm, err
+		}
+	}
+	if err := v.ctx.Err(); err != nil {
+		return nil, nm, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.n()
+	}
+	out := &vtable{width: width, rows: make([]uint64, 0, total*width), origin: make([]int32, 0, total)}
+	for _, p := range parts {
+		out.rows = append(out.rows, p.rows...)
+		out.origin = append(out.origin, p.origin...)
+	}
+	return out, nm, nil
 }
 
 // Variable-position classification for one pattern against one table.
@@ -206,9 +292,11 @@ const (
 
 // evalPattern answers one triple pattern for all current solutions: one
 // batched candidate probe from the snapshot index, then a hash join on the
-// bound variables. The rare mixed-boundness case falls back to a per-row
-// probe (still id-space and lock-free).
-func (v *vexec) evalPattern(pat Pattern, in *vtable, hints map[string]geo.Envelope) (*vtable, error) {
+// bound variables, morsel-parallel over the probe side. The rare
+// mixed-boundness case falls back to a per-row probe (still id-space,
+// lock-free, and morsel-parallel over rows).
+func (v *vexec) evalPattern(n *planNode, in *vtable, hints map[string]geo.Envelope) (*vtable, error) {
+	pat := n.pat
 	if in.n() == 0 {
 		return in, nil
 	}
@@ -272,15 +360,16 @@ func (v *vexec) evalPattern(pat Pattern, in *vtable, hints map[string]geo.Envelo
 		}
 	}
 	// Ensure slots for the new variables; the output covers every slot
-	// allocated so far (holes stay unbound).
+	// allocated so far (holes stay unbound). Slot allocation happens
+	// before any morsel fans out, so workers only read the slot map.
 	for i, pt := range pos {
 		if kind[i] == posNew && slotAt[i] < 0 {
 			slotAt[i] = v.addSlot(pt.Var)
 		}
 	}
-	out := &vtable{width: len(v.vars)}
-	if out.width < in.width {
-		out.width = in.width
+	width := len(v.vars)
+	if width < in.width {
+		width = in.width
 	}
 	var joinPos []int
 	for i := 0; i < 3; i++ {
@@ -289,7 +378,7 @@ func (v *vexec) evalPattern(pat Pattern, in *vtable, hints map[string]geo.Envelo
 		}
 	}
 	if mixed {
-		return v.evalPatternPerRow(pat, constPat, kind, slotAt, in, out, spatialSet)
+		return v.evalPatternPerRow(n, pat, constPat, kind, slotAt, in, width, spatialSet)
 	}
 	// When the solution side is much smaller than the candidate side of a
 	// join, probing the index once per row (with the row's bound ids
@@ -297,7 +386,7 @@ func (v *vexec) evalPattern(pat Pattern, in *vtable, hints map[string]geo.Envelo
 	// candidates — this is the legacy strategy, minus its per-row lock and
 	// term decoding.
 	if len(joinPos) > 0 && in.n()*8 < v.snap.Cardinality(constPat) {
-		return v.evalPatternPerRow(pat, constPat, kind, slotAt, in, out, spatialSet)
+		return v.evalPatternPerRow(n, pat, constPat, kind, slotAt, in, width, spatialSet)
 	}
 	col := func(i int, c int32) uint64 {
 		switch i {
@@ -341,7 +430,7 @@ func (v *vexec) evalPattern(pat Pattern, in *vtable, hints map[string]geo.Envelo
 		valid = filtered
 	}
 	if len(valid) == 0 {
-		return out, nil
+		return &vtable{width: width}, nil
 	}
 	var newAssign [][2]int // (position, slot) pairs to fill per emitted row
 	for i := 0; i < 3; i++ {
@@ -349,24 +438,16 @@ func (v *vexec) evalPattern(pat Pattern, in *vtable, hints map[string]geo.Envelo
 			newAssign = append(newAssign, [2]int{i, slotAt[i]})
 		}
 	}
-	emit := func(r int, c int32) {
+	emitTo := func(out *vtable, r int, c int32) {
 		row := out.append(in.row(r), in.origin[r])
 		for _, a := range newAssign {
 			row[a[1]] = col(a[0], c)
 		}
 	}
-	// Size the output for the common join shape (≈ one match per row or
-	// per candidate); appends beyond the guess still grow normally.
-	guess := in.n()
-	if len(joinPos) == 0 {
-		guess = in.n() * len(valid)
-	} else if len(valid) > guess {
-		guess = len(valid)
-	}
-	out.rows = make([]uint64, 0, guess*out.width)
-	out.origin = make([]int32, 0, guess)
-	// Small joins run faster by scanning than by building a hash table.
+	// Small joins run faster by scanning than by building a hash table
+	// (and are too small to be worth a goroutine handoff).
 	if len(joinPos) > 0 && (len(valid) <= 8 || in.n()*len(valid) <= 4096) {
+		out := &vtable{width: width, rows: make([]uint64, 0, in.n()*width), origin: make([]int32, 0, in.n())}
 		for r := 0; r < in.n(); r++ {
 		scanLoop:
 			for _, c := range valid {
@@ -375,29 +456,72 @@ func (v *vexec) evalPattern(pat Pattern, in *vtable, hints map[string]geo.Envelo
 						continue scanLoop
 					}
 				}
-				emit(r, c)
+				emitTo(out, r, c)
 			}
 		}
 		return out, nil
 	}
+	var (
+		out *vtable
+		nm  int
+		err error
+	)
 	switch len(joinPos) {
 	case 0:
-		// No shared variables: cross product (for the first pattern this is
-		// just the candidate materialisation).
-		for r := 0; r < in.n(); r++ {
-			for _, c := range valid {
-				emit(r, c)
-			}
+		// No shared variables: cross product. For the ubiquitous
+		// single-input-row shape (the first pattern of a group) this is
+		// the candidate materialisation, morsel-parallel over candidates;
+		// otherwise morsels split the input rows.
+		if in.n() == 1 {
+			out, nm, err = v.runMorsels(len(valid), morselMinJoinRows, width, func(lo, hi int, part *vtable) error {
+				part.rows = make([]uint64, 0, (hi-lo)*width)
+				part.origin = make([]int32, 0, hi-lo)
+				for k := lo; k < hi; k++ {
+					if (k-lo)&8191 == 8191 {
+						if err := v.ctx.Err(); err != nil {
+							return err
+						}
+					}
+					emitTo(part, 0, valid[k])
+				}
+				return nil
+			})
+		} else {
+			out, nm, err = v.runMorsels(in.n(), morselMinJoinRows, width, func(lo, hi int, part *vtable) error {
+				emitted := 0
+				for r := lo; r < hi; r++ {
+					for _, c := range valid {
+						if emitted&8191 == 8191 {
+							if err := v.ctx.Err(); err != nil {
+								return err
+							}
+						}
+						emitTo(part, r, c)
+						emitted++
+					}
+				}
+				return nil
+			})
 		}
 	case 1:
 		jp := joinPos[0]
 		js := slotAt[jp]
 		h := groupByKey(valid, func(c int32) uint64 { return col(jp, c) })
-		for r := 0; r < in.n(); r++ {
-			for _, c := range h[in.get(r, js)] {
-				emit(r, c)
+		out, nm, err = v.runMorsels(in.n(), morselMinJoinRows, width, func(lo, hi int, part *vtable) error {
+			part.rows = make([]uint64, 0, (hi-lo)*width)
+			part.origin = make([]int32, 0, hi-lo)
+			for r := lo; r < hi; r++ {
+				if (r-lo)&8191 == 8191 {
+					if err := v.ctx.Err(); err != nil {
+						return err
+					}
+				}
+				for _, c := range h[in.get(r, js)] {
+					emitTo(part, r, c)
+				}
 			}
-		}
+			return nil
+		})
 	default:
 		key3 := func(c int32) [3]uint64 {
 			var k [3]uint64
@@ -407,23 +531,40 @@ func (v *vexec) evalPattern(pat Pattern, in *vtable, hints map[string]geo.Envelo
 			return k
 		}
 		h := groupByKey(valid, key3)
-		var key [3]uint64
-		for r := 0; r < in.n(); r++ {
-			key = [3]uint64{}
-			for _, i := range joinPos {
-				key[i] = in.get(r, slotAt[i])
+		out, nm, err = v.runMorsels(in.n(), morselMinJoinRows, width, func(lo, hi int, part *vtable) error {
+			part.rows = make([]uint64, 0, (hi-lo)*width)
+			part.origin = make([]int32, 0, hi-lo)
+			var key [3]uint64
+			for r := lo; r < hi; r++ {
+				if (r-lo)&8191 == 8191 {
+					if err := v.ctx.Err(); err != nil {
+						return err
+					}
+				}
+				key = [3]uint64{}
+				for _, i := range joinPos {
+					key[i] = in.get(r, slotAt[i])
+				}
+				for _, c := range h[key] {
+					emitTo(part, r, c)
+				}
 			}
-			for _, c := range h[key] {
-				emit(r, c)
-			}
-		}
+			return nil
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if nm > n.morsels {
+		n.morsels = nm
 	}
 	return out, nil
 }
 
 // groupByKey buckets candidates by join key into slices carved out of one
 // shared arena: a counting pass sizes each bucket, so no per-key slice
-// ever reallocates.
+// ever reallocates. The result is read-only and safe for concurrent
+// probe morsels.
 func groupByKey[K comparable](cands []int32, key func(int32) K) map[K][]int32 {
 	cnt := make(map[K]int32, len(cands))
 	for _, c := range cands {
@@ -444,98 +585,134 @@ func groupByKey[K comparable](cands []int32, key func(int32) K) map[K][]int32 {
 }
 
 // evalPatternPerRow handles patterns whose variables are bound in only
-// some rows: each row probes the index with its own bound ids. Rare, but
-// required after OPTIONAL / UNION.
-func (v *vexec) evalPatternPerRow(pat Pattern, constPat strabon.TriplePattern, kind [3]int, slotAt [3]int, in, out *vtable, spatialSet map[uint64]bool) (*vtable, error) {
+// some rows (and the adaptive few-rows-vs-many-candidates join): each row
+// probes the index with its own bound ids, morsel-parallel over rows with
+// a per-morsel probe buffer.
+func (v *vexec) evalPatternPerRow(n *planNode, pat Pattern, constPat strabon.TriplePattern, kind [3]int, slotAt [3]int, in *vtable, width int, spatialSet map[uint64]bool) (*vtable, error) {
 	pos := [3]PatTerm{pat.S, pat.P, pat.O}
-	out.rows = make([]uint64, 0, in.n()*out.width)
-	out.origin = make([]int32, 0, in.n())
-	for r := 0; r < in.n(); r++ {
-		tp := constPat
-		dst := [3]*uint64{&tp.S, &tp.P, &tp.O}
-		for i := range pos {
-			if slotAt[i] >= 0 {
-				if id := in.get(r, slotAt[i]); id != 0 {
-					// An extra (per-query) id can never appear in a stored
-					// triple; the posting lookup correctly finds nothing.
-					*dst[i] = id
+	out, nm, err := v.runMorsels(in.n(), morselMinFilterRows, width, func(lo, hi int, part *vtable) error {
+		var buf []int32
+		part.rows = make([]uint64, 0, (hi-lo)*width)
+		part.origin = make([]int32, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			if (r-lo)&1023 == 1023 {
+				if err := v.ctx.Err(); err != nil {
+					return err
 				}
 			}
-		}
-		cands := v.snap.MatchRows(tp, &v.buf)
-	candLoop:
-		for _, c := range cands {
-			s, p, o := v.snap.Row(c)
-			vals := [3]uint64{s, p, o}
-			// Consistency across positions sharing a variable that this
-			// row leaves unbound, and spatial pruning for unbound objects.
-			if spatialSet != nil && kind[2] != posConst && in.get(r, slotAt[2]) == 0 && !spatialSet[o] {
-				continue
-			}
-			for i := 0; i < 3; i++ {
-				for j := i + 1; j < 3; j++ {
-					if pos[i].IsVar() && pos[j].IsVar() && pos[i].Var == pos[j].Var && vals[i] != vals[j] {
-						continue candLoop
+			tp := constPat
+			dst := [3]*uint64{&tp.S, &tp.P, &tp.O}
+			for i := range pos {
+				if slotAt[i] >= 0 {
+					if id := in.get(r, slotAt[i]); id != 0 {
+						// An extra (per-query) id can never appear in a stored
+						// triple; the posting lookup correctly finds nothing.
+						*dst[i] = id
 					}
 				}
 			}
-			row := out.append(in.row(r), in.origin[r])
-			for i := range pos {
-				if slotAt[i] >= 0 {
-					row[slotAt[i]] = vals[i]
+			cands := v.snap.MatchRows(tp, &buf)
+		candLoop:
+			for _, c := range cands {
+				s, p, o := v.snap.Row(c)
+				vals := [3]uint64{s, p, o}
+				// Consistency across positions sharing a variable that this
+				// row leaves unbound, and spatial pruning for unbound objects.
+				if spatialSet != nil && kind[2] != posConst && in.get(r, slotAt[2]) == 0 && !spatialSet[o] {
+					continue
+				}
+				for i := 0; i < 3; i++ {
+					for j := i + 1; j < 3; j++ {
+						if pos[i].IsVar() && pos[j].IsVar() && pos[i].Var == pos[j].Var && vals[i] != vals[j] {
+							continue candLoop
+						}
+					}
+				}
+				row := part.append(in.row(r), in.origin[r])
+				for i := range pos {
+					if slotAt[i] >= 0 {
+						row[slotAt[i]] = vals[i]
+					}
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if nm > n.morsels {
+		n.morsels = nm
 	}
 	return out, nil
 }
 
 // evalBind appends/overwrites a slot with a computed term per row,
-// decoding only the variables the expression references.
+// decoding only the variables the expression references. Serial: BIND
+// interns computed terms into the shared per-query extra dictionary.
 func (v *vexec) evalBind(bc BindClause, in *vtable) *vtable {
 	s := v.addSlot(bc.Var)
 	refs := v.resolveRefs(exprVars(bc.Expr))
 	out := &vtable{width: len(v.vars), rows: make([]uint64, 0, in.n()*len(v.vars)), origin: make([]int32, 0, in.n())}
 	for r := 0; r < in.n(); r++ {
 		row := out.append(in.row(r), in.origin[r])
-		b := v.bindingFor(refs, in, r)
-		if t, err := v.e.evalExpr(bc.Expr, b); err == nil {
+		v.scratch = v.bindingInto(v.scratch, refs, in, r)
+		if t, err := v.e.evalExpr(bc.Expr, v.scratch); err == nil {
 			row[s] = v.idOf(t)
 		}
 	}
 	return out
 }
 
-// evalFilterTable keeps rows passing the filter. Spatial predicate and
-// distance-comparison filters run entirely in id space against the
-// snapshot's geometry cache; everything else decodes just the referenced
-// variables per row.
-func (v *vexec) evalFilterTable(f Expression, in *vtable) (*vtable, error) {
+// evalFilterTable keeps rows passing the filter, morsel-parallel over
+// rows. Spatial predicate and distance-comparison filters run entirely
+// in id space against the snapshot's geometry cache; everything else
+// decodes just the referenced variables per row into a morsel-local
+// scratch binding (Engine.evalExpr is safe for concurrent evaluations).
+func (v *vexec) evalFilterTable(n *planNode, in *vtable) (*vtable, error) {
+	f := n.filt
 	if in.n() == 0 {
 		return in, nil
 	}
 	fast := v.compileFastFilter(f)
-	var refs []refSlot
-	out := &vtable{width: in.width, rows: make([]uint64, 0, len(in.rows)), origin: make([]int32, 0, in.n())}
-	for r := 0; r < in.n(); r++ {
-		keep, handled := false, false
-		if fast != nil {
-			keep, handled = fast(in, r)
-		}
-		if !handled {
-			if refs == nil {
-				refs = v.resolveRefs(exprVars(f))
+	// Resolved unconditionally BEFORE the fan-out: the closure below runs
+	// on concurrent workers, and a compiled fast filter may decline
+	// individual rows (handled=false), so the generic path must never
+	// lazily initialise shared state from inside a morsel.
+	refs := v.resolveRefs(exprVars(f))
+	out, nm, err := v.runMorsels(in.n(), morselMinFilterRows, in.width, func(lo, hi int, part *vtable) error {
+		var scratch Binding // morsel-local: never shared across workers
+		part.rows = make([]uint64, 0, (hi-lo)*in.width)
+		part.origin = make([]int32, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			if (r-lo)&1023 == 1023 {
+				if err := v.ctx.Err(); err != nil {
+					return err
+				}
 			}
-			b := v.bindingFor(refs, in, r)
-			var err error
-			keep, err = v.e.evalFilter(f, b)
-			if err != nil {
-				return nil, err
+			keep, handled := false, false
+			if fast != nil {
+				keep, handled = fast(in, r)
+			}
+			if !handled {
+				scratch = v.bindingInto(scratch, refs, in, r)
+				var err error
+				keep, err = v.e.evalFilter(f, scratch)
+				if err != nil {
+					return err
+				}
+			}
+			if keep {
+				part.append(in.row(r), in.origin[r])
 			}
 		}
-		if keep {
-			out.append(in.row(r), in.origin[r])
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if nm > n.morsels {
+		n.morsels = nm
 	}
 	return out, nil
 }
@@ -543,15 +720,15 @@ func (v *vexec) evalFilterTable(f Expression, in *vtable) (*vtable, error) {
 // evalUnion runs every alternative batched over all current rows, then
 // interleaves the results per input row (alternatives in syntactic order)
 // to match the legacy binding-at-a-time concatenation exactly.
-func (v *vexec) evalUnion(alts []*Group, in *vtable) (*vtable, error) {
+func (v *vexec) evalUnion(n *planNode, in *vtable) (*vtable, error) {
 	if in.n() == 0 {
 		return in, nil
 	}
 	reseed := in.reseed()
-	results := make([]*vtable, len(alts))
+	results := make([]*vtable, len(n.alts))
 	width := in.width
-	for i, alt := range alts {
-		r, err := v.evalGroup(alt, reseed)
+	for i, alt := range n.alts {
+		r, err := v.execGroup(alt, reseed)
 		if err != nil {
 			return nil, err
 		}
@@ -561,7 +738,7 @@ func (v *vexec) evalUnion(alts []*Group, in *vtable) (*vtable, error) {
 		}
 	}
 	out := &vtable{width: width}
-	cursors := make([]int, len(alts))
+	cursors := make([]int, len(n.alts))
 	for k := 0; k < in.n(); k++ {
 		for i, res := range results {
 			for cursors[i] < res.n() && res.origin[cursors[i]] == int32(k) {
@@ -575,11 +752,11 @@ func (v *vexec) evalUnion(alts []*Group, in *vtable) (*vtable, error) {
 
 // evalOptional left-joins one optional group: rows with sub-matches are
 // replaced by them, rows without survive unchanged.
-func (v *vexec) evalOptional(opt *Group, in *vtable) (*vtable, error) {
+func (v *vexec) evalOptional(n *planNode, in *vtable) (*vtable, error) {
 	if in.n() == 0 {
 		return in, nil
 	}
-	sub, err := v.evalGroup(opt, in.reseed())
+	sub, err := v.execGroup(n.opt, in.reseed())
 	if err != nil {
 		return nil, err
 	}
@@ -617,13 +794,13 @@ func (v *vexec) resolveRefs(names []string) []refSlot {
 	return out
 }
 
-// bindingFor materialises just the referenced variables of one row into
-// the reusable scratch binding.
-func (v *vexec) bindingFor(refs []refSlot, in *vtable, r int) Binding {
-	if v.scratch == nil {
-		v.scratch = Binding{}
+// bindingInto materialises just the referenced variables of one row into
+// b (allocated when nil, cleared otherwise) and returns it. Callers own
+// b — serial paths reuse v.scratch, morsel workers keep their own.
+func (v *vexec) bindingInto(b Binding, refs []refSlot, in *vtable, r int) Binding {
+	if b == nil {
+		b = Binding{}
 	}
-	b := v.scratch
 	for k := range b {
 		delete(b, k)
 	}
@@ -735,7 +912,8 @@ var spatialPredicates = map[string]func(a, b geo.Geometry) bool{
 // that dominate stSPARQL workloads: binary spatial predicates, distance
 // comparisons, and conjunctions of those. It returns nil when the shape
 // is not covered; the returned function's second result is false when the
-// row needs the generic (decoding) evaluator.
+// row needs the generic (decoding) evaluator. The compiled closures keep
+// no per-row state, so filter morsels share them safely.
 func (v *vexec) compileFastFilter(f Expression) func(*vtable, int) (bool, bool) {
 	switch t := f.(type) {
 	case *EBinary:
@@ -868,9 +1046,14 @@ func cmpFloat(op string, a, b float64) bool {
 // evalSelectVec is the vectorized SELECT: the group evaluates in id space,
 // DISTINCT deduplicates on id tuples, and only the surviving rows are
 // decoded (after OFFSET/LIMIT when there is no ORDER BY).
-func (e *Engine) evalSelectVec(q *Query) (*Result, error) {
-	v := newVexec(e)
-	tb, err := v.evalGroup(q.Where, v.seed())
+func (e *Engine) evalSelectVec(ctx context.Context, q *Query) (*Result, error) {
+	return e.evalSelectVecWith(newVexec(ctx, e), q)
+}
+
+// evalSelectVecWith runs the SELECT pipeline over a caller-supplied
+// executor, which EXPLAIN reuses to harvest the measured plan.
+func (e *Engine) evalSelectVecWith(v *vexec, q *Query) (*Result, error) {
+	tb, err := v.evalRoot(q.Where)
 	if err != nil {
 		return nil, err
 	}
