@@ -10,13 +10,15 @@ GO ?= go
 # N-Triples path, WAL-replay recovery) added in PR 4, and the
 # morsel-parallel multi-pattern SPARQL cores ablation
 # (BenchmarkParallelQueryAblation: 1/2/4/GOMAXPROCS workers) added in
-# PR 5.
+# PR 5, and the replication benchmarks (internal/replication: WAL
+# tail-apply throughput and cold-replica bootstrap time) added in PR 6.
 BENCH_TIER1 = BenchmarkFigure1Pipeline|BenchmarkFigure3CatalogueSearch|BenchmarkFlagshipQuery|BenchmarkOptimizerOrdering|BenchmarkAblationExecutor|BenchmarkAblationSpatialIndex|BenchmarkParallelQueryAblation
 BENCH_SCIQL = BenchmarkSelectFilter|BenchmarkGroupByAggregate|BenchmarkArrayUpdateClassify|BenchmarkAlignedArrayJoin|BenchmarkDimensionPushdownCrop|BenchmarkAblationSciQLExecutor
 BENCH_ARRAY = BenchmarkConvolve2D|BenchmarkResampleBilinear|BenchmarkTileAvg|BenchmarkConnectedComponents|BenchmarkSummarize|BenchmarkAblationParallelKernels
 BENCH_PERSIST = BenchmarkWALAppend|BenchmarkWALAppendBatch|BenchmarkWALAppendSynced|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad|BenchmarkNTriplesLoad|BenchmarkRecoveryReplay
+BENCH_REPL = BenchmarkTailApply|BenchmarkReplicaBootstrap
 
-.PHONY: all build test race vet bench bench-json equivalence crash-test clean
+.PHONY: all build test race vet bench bench-json equivalence crash-test replica-test clean
 
 all: vet build test
 
@@ -27,12 +29,19 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/endpoint/ ./internal/strabon/ ./internal/stsparql/ ./internal/sciql/ ./internal/array/ ./internal/parallel/ ./internal/persist/
+	$(GO) test -race ./internal/endpoint/ ./internal/strabon/ ./internal/stsparql/ ./internal/sciql/ ./internal/array/ ./internal/parallel/ ./internal/persist/ ./internal/replication/
 
 # crash-test SIGKILLs a loaded teleios-server mid-write and asserts the
 # durable data dir recovers every acknowledged update.
 crash-test:
 	bash scripts/crashtest.sh
+
+# replica-test boots a live topology (primary + 2 replicas + router),
+# writes through the router, and asserts convergence, bit-identical
+# reads, read-your-writes, and SIGKILL-a-replica recovery with zero
+# acked-write loss.
+replica-test:
+	bash scripts/replicatest.sh
 
 vet:
 	$(GO) vet ./...
@@ -44,18 +53,20 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_SCIQL)' -benchmem ./internal/sciql/ | tee -a bench.out
 	$(GO) test -run '^$$' -bench '$(BENCH_ARRAY)' -benchmem ./internal/array/ | tee -a bench.out
 	$(GO) test -run '^$$' -bench '$(BENCH_PERSIST)' -benchmem -short ./internal/persist/ | tee -a bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_REPL)' -benchmem ./internal/replication/ | tee -a bench.out
 
 # bench-json converts the last bench run (or a fresh one) into the
 # machine-readable perf record.
 bench-json: bench
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR5.json
-	@echo wrote BENCH_PR5.json
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR6.json
+	@echo wrote BENCH_PR6.json
 
 # equivalence runs the executor-equivalence gates in both serial and
 # parallel-morsel modes (the CI gate for the morsel executor).
 equivalence:
 	$(GO) test -run 'TestExecutorEquivalence|TestSerialParallelEquivalence|TestContextCancellation' ./internal/stsparql/
 	$(GO) test -race -run 'TestSerialParallelEquivalence|TestConcurrentParallelQueriesUpdatesCheckpoints' ./internal/stsparql/
+	$(GO) test -run 'TestPrimaryReplicaEquivalence' ./internal/replication/
 
 clean:
 	rm -f bench.out

@@ -10,6 +10,7 @@
 //	               [-cache N] [-max-concurrency N] [-timeout DUR]
 //	               [-max-query-parallelism N]
 //	               [-readonly] [-save] [-legacy-eval] [-legacy-sciql]
+//	               [-replicate-from URL] [-route-to URL,URL,...]
 //
 // -max-query-parallelism bounds the morsel parallelism of ONE query
 // through the vectorized executor (0 = all cores, 1 = serial); the
@@ -38,6 +39,17 @@
 // deprecated: it persists only on clean exit and keeps the slow
 // N-Triples format. Prefer -data-dir.
 //
+// Replication (see docs/replication.md): a node started with -data-dir
+// automatically serves its WAL and snapshots under /replication/v1/.
+// -replicate-from URL turns the node into a read-only replica of that
+// primary: it bootstraps from the primary's newest snapshot, tails the
+// WAL into its own -data-dir (so restarts resume locally), and rejects
+// updates with 403. -route-to URL,URL,... runs a stateless
+// consistent-hash router instead: the first URL is the primary (all
+// updates go there), the rest are read replicas; reads hash by query
+// text (or the Teleios-Tenant header) and a Teleios-Min-Version
+// watermark steers read-your-writes traffic to caught-up backends.
+//
 // Example:
 //
 //	teleios-server -linked -data-dir ./teleios-data -addr :8080 &
@@ -54,12 +66,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/endpoint"
 	"repro/internal/linkeddata"
 	"repro/internal/persist"
+	"repro/internal/replication"
 	"repro/internal/sciql"
 	"repro/internal/strabon"
 	"repro/internal/stsparql"
@@ -82,6 +96,8 @@ type serverConfig struct {
 	readonly        bool
 	save            bool
 	legacyEval      bool
+	replicateFrom   string
+	routeTo         string
 }
 
 func main() {
@@ -102,6 +118,8 @@ func main() {
 	flag.BoolVar(&cfg.readonly, "readonly", false, "reject UPDATE statements")
 	flag.BoolVar(&cfg.save, "save", false, "deprecated: write the store back to -store on graceful shutdown (prefer -data-dir)")
 	flag.BoolVar(&cfg.legacyEval, "legacy-eval", false, "use the legacy binding-at-a-time evaluator instead of the vectorized id-space executor")
+	flag.StringVar(&cfg.replicateFrom, "replicate-from", "", "run as a read-only replica tailing this primary's WAL (e.g. http://db0:8080; requires -data-dir)")
+	flag.StringVar(&cfg.routeTo, "route-to", "", "run as a stateless query router over this comma-separated backend list (first = primary, rest = replicas)")
 	legacySciQL := flag.Bool("legacy-sciql", false, "use the legacy tuple-at-a-time SciQL interpreter instead of the columnar kernel executor (applies to every SciQL engine in this process)")
 	flag.Parse()
 
@@ -130,6 +148,21 @@ func parseWALSync(s string) (persist.SyncMode, time.Duration, error) {
 }
 
 func run(cfg serverConfig) error {
+	if cfg.routeTo != "" {
+		if cfg.replicateFrom != "" || cfg.dataDir != "" || cfg.storeDir != "" || cfg.ntFile != "" || cfg.linked || cfg.save {
+			return errors.New("-route-to is a stateless mode: it cannot be combined with -replicate-from, -data-dir, -store, -nt, -linked or -save")
+		}
+		return runRouter(cfg)
+	}
+	if cfg.replicateFrom != "" {
+		if cfg.dataDir == "" {
+			return errors.New("-replicate-from requires -data-dir (the replica's own durable directory)")
+		}
+		if cfg.storeDir != "" || cfg.ntFile != "" || cfg.linked || cfg.save {
+			return errors.New("-replicate-from cannot be combined with seed flags (-store, -nt, -linked, -save): replicas get all data from the primary")
+		}
+		return runReplica(cfg)
+	}
 	if cfg.save && cfg.storeDir == "" {
 		return errors.New("-save requires -store")
 	}
@@ -237,24 +270,20 @@ func run(cfg serverConfig) error {
 	}
 	if manager != nil {
 		epCfg.DurabilityStats = func() endpoint.DurabilityStats {
-			ps := manager.Stats()
-			ds := endpoint.DurabilityStats{
-				WALBytes:          ps.WALBytes,
-				WALSegments:       ps.WALSegments,
-				WALSeq:            ps.LastSeq,
-				Snapshots:         ps.Snapshots,
-				LastCheckpointSeq: ps.LastCheckpointSeq,
-				LastCheckpointMs:  ps.LastCheckpointTook.Milliseconds(),
-				RecoveryMs:        ps.RecoveryTook.Milliseconds(),
-				ReplayedRecords:   ps.ReplayedRecords,
-			}
-			if !ps.LastCheckpointAt.IsZero() {
-				ds.LastCheckpointUnixMs = ps.LastCheckpointAt.UnixMilli()
-			}
-			if ps.JournalErr != nil {
-				ds.JournalError = ps.JournalErr.Error()
-			}
-			return ds
+			return durabilityStats(manager)
+		}
+	}
+	// With a data dir the node can feed replicas: mount the WAL-shipping
+	// handlers on the same mux and surface shipping counters in /stats.
+	var mounts []func(*http.ServeMux)
+	if manager != nil {
+		prim := replication.NewPrimary(manager)
+		mounts = append(mounts, prim.Register)
+		epCfg.ReplicationStats = func() any {
+			return struct {
+				Role string `json:"role"`
+				replication.PrimaryStats
+			}{"primary", prim.Stats()}
 		}
 	}
 	srv, err := endpoint.NewServer(epCfg)
@@ -264,7 +293,7 @@ func run(cfg serverConfig) error {
 
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           srv.Handler(),
+		Handler:           srv.Handler(mounts...),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -314,4 +343,168 @@ func run(cfg serverConfig) error {
 		return fmt.Errorf("shutdown: %w", shutErr)
 	}
 	return nil
+}
+
+// runReplica boots the node as a read-only replica: bootstrap from the
+// primary's newest snapshot (first boot only), tail its WAL into a
+// local durable directory, and serve queries from the replicated store.
+// Updates get 403s pointing clients at the primary. The replica mounts
+// the WAL-shipping handlers itself, so replicas can chain off replicas.
+func runReplica(cfg serverConfig) error {
+	mode, every, err := parseWALSync(cfg.walSync)
+	if err != nil {
+		return err
+	}
+	if every != 0 {
+		return errors.New("-wal-sync intervals are not supported in replica mode; use always or none")
+	}
+	bootStart := time.Now()
+	rep, err := replication.OpenReplica(replication.ReplicaOptions{
+		Primary:         cfg.replicateFrom,
+		Dir:             cfg.dataDir,
+		SyncMode:        mode,
+		HasSyncMode:     true,
+		CheckpointEvery: cfg.checkpointEvery,
+		CheckpointBytes: cfg.checkpointBytes,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "teleios-server: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer rep.Close()
+	st := rep.Store()
+	fmt.Printf("teleios-server: replica of %s ready in %s (%d triples, applied seq %d)\n",
+		cfg.replicateFrom, time.Since(bootStart).Round(time.Millisecond), st.Len(), rep.AppliedSeq())
+
+	eng := stsparql.New(st)
+	eng.DisableVectorized = cfg.legacyEval
+	eng.MaxParallelism = cfg.maxQueryPar
+	prim := replication.NewPrimary(rep.Manager())
+	epCfg := endpoint.Config{
+		Engine:          eng,
+		Store:           st,
+		MaxConcurrency:  cfg.maxConc,
+		QueueDepth:      cfg.queueDepth,
+		QueryTimeout:    cfg.timeout,
+		CacheSize:       cfg.cacheSize,
+		ReadOnly:        true,
+		ReadOnlyMessage: fmt.Sprintf("this node is a read-only replica; send updates to the primary at %s", cfg.replicateFrom),
+		DurabilityStats: func() endpoint.DurabilityStats {
+			return durabilityStats(rep.Manager())
+		},
+		ReplicationStats: func() any {
+			return struct {
+				Role string `json:"role"`
+				replication.ReplicaStats
+			}{"replica", rep.Stats()}
+		},
+	}
+	srv, err := endpoint.NewServer(epCfg)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           srv.Handler(prim.Register),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return serveUntilSignal(httpSrv, srv.Close, func() error {
+		fmt.Println("teleios-server: replica shutting down")
+		return rep.Close()
+	})
+}
+
+// runRouter boots the node as a stateless consistent-hash query router
+// over an existing primary + replica fleet. It holds no store: /sparql
+// is proxied, /stats and /health describe the fleet.
+func runRouter(cfg serverConfig) error {
+	hosts := strings.Split(cfg.routeTo, ",")
+	for i := range hosts {
+		hosts[i] = strings.TrimSpace(hosts[i])
+	}
+	if len(hosts) == 0 || hosts[0] == "" {
+		return errors.New("-route-to needs at least a primary URL")
+	}
+	rt, err := replication.NewRouter(replication.RouterOptions{
+		Primary:  hosts[0],
+		Replicas: hosts[1:],
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "teleios-server: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	mux := http.NewServeMux()
+	rt.Register(mux)
+	httpSrv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("teleios-server: routing %s -> primary %s + %d replica(s)\n", cfg.addr, hosts[0], len(hosts)-1)
+	return serveUntilSignal(httpSrv, func() {}, func() error {
+		fmt.Println("teleios-server: router shutting down")
+		rt.Close()
+		return nil
+	})
+}
+
+// serveUntilSignal runs an HTTP server until SIGINT/SIGTERM, then
+// drains it: Shutdown, stop accepting work (drain), then finish
+// (persist/close state).
+func serveUntilSignal(httpSrv *http.Server, drain func(), finish func() error) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("teleios-server: listening on %s\n", httpSrv.Addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+	select {
+	case err := <-errCh:
+		drain()
+		finish()
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	shutErr := httpSrv.Shutdown(shutCtx)
+	drain()
+	if err := finish(); err != nil {
+		return err
+	}
+	if shutErr != nil {
+		return fmt.Errorf("shutdown: %w", shutErr)
+	}
+	return nil
+}
+
+// durabilityStats maps persist.Manager stats onto the endpoint's
+// telemetry block.
+func durabilityStats(m *persist.Manager) endpoint.DurabilityStats {
+	ps := m.Stats()
+	ds := endpoint.DurabilityStats{
+		WALBytes:          ps.WALBytes,
+		WALSegments:       ps.WALSegments,
+		WALSeq:            ps.LastSeq,
+		Snapshots:         ps.Snapshots,
+		LastCheckpointSeq: ps.LastCheckpointSeq,
+		LastCheckpointMs:  ps.LastCheckpointTook.Milliseconds(),
+		RecoveryMs:        ps.RecoveryTook.Milliseconds(),
+		ReplayedRecords:   ps.ReplayedRecords,
+	}
+	if !ps.LastCheckpointAt.IsZero() {
+		ds.LastCheckpointUnixMs = ps.LastCheckpointAt.UnixMilli()
+	}
+	if ps.JournalErr != nil {
+		ds.JournalError = ps.JournalErr.Error()
+	}
+	return ds
 }

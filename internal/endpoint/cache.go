@@ -8,11 +8,24 @@ import (
 	"repro/internal/stsparql"
 )
 
+// CacheVersion is the store-state fingerprint that keys cached
+// results. Version counts every in-process mutation (including ones
+// that never touch the WAL, like toggling the spatial index);
+// AppliedSeq is the replication watermark — the newest WAL sequence
+// number whose mutation is visible. Both are needed: Version alone is
+// not comparable across processes (a replica restored from a snapshot
+// skips replayed no-ops, so its counter drifts from the primary's),
+// and AppliedSeq alone misses non-journalled mutations.
+type CacheVersion struct {
+	Version    uint64
+	AppliedSeq uint64
+}
+
 // ResultCache is an LRU cache of evaluated read-query results keyed by
-// query text and store version. A cached entry is valid only while the
-// store's Version() is unchanged; entries from older versions are evicted
-// lazily on lookup, so a single UPDATE invalidates the whole cache
-// without any bookkeeping on the write path.
+// query text and store state (CacheVersion). A cached entry is valid
+// only while the store's fingerprint is unchanged; entries from older
+// states are evicted lazily on lookup, so a single UPDATE invalidates
+// the whole cache without any bookkeeping on the write path.
 type ResultCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -25,7 +38,7 @@ type ResultCache struct {
 
 type cacheEntry struct {
 	key     string
-	version uint64
+	version CacheVersion
 	res     *stsparql.Result
 }
 
@@ -40,7 +53,7 @@ func NewResultCache(capacity int) *ResultCache {
 }
 
 // Get returns the cached result for key at the given store version.
-func (c *ResultCache) Get(key string, version uint64) (*stsparql.Result, bool) {
+func (c *ResultCache) Get(key string, version CacheVersion) (*stsparql.Result, bool) {
 	if c.cap < 1 {
 		return nil, false
 	}
@@ -66,7 +79,7 @@ func (c *ResultCache) Get(key string, version uint64) (*stsparql.Result, bool) {
 
 // Put stores a result for key at the given store version, evicting the
 // least recently used entry when over capacity.
-func (c *ResultCache) Put(key string, version uint64, res *stsparql.Result) {
+func (c *ResultCache) Put(key string, version CacheVersion, res *stsparql.Result) {
 	if c.cap < 1 {
 		return
 	}

@@ -23,14 +23,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/geo"
 	"repro/internal/rdf"
+	"repro/internal/replication"
 	"repro/internal/strabon"
 	"repro/internal/strdf"
 	"repro/internal/stsparql"
@@ -94,12 +97,20 @@ type Config struct {
 	MaxCacheableRows int
 	// ReadOnly rejects UPDATE statements with 403.
 	ReadOnly bool
+	// ReadOnlyMessage customises the 403 body (default "endpoint is
+	// read-only"). Replica mode sets it to point clients at the primary.
+	ReadOnlyMessage string
 	// MaxQueryBytes bounds the request query text (default 1 MiB).
 	MaxQueryBytes int64
 	// DurabilityStats, when set, supplies write-ahead-log and checkpoint
 	// telemetry for /stats (wired to persist.Manager.Stats by
 	// teleios-server; nil when the server runs without a data dir).
 	DurabilityStats func() DurabilityStats
+	// ReplicationStats, when set, supplies a role-specific replication
+	// telemetry block for /stats (a replication.PrimaryStats or
+	// replication.ReplicaStats, wired by teleios-server; nil when the
+	// node neither ships nor tails a WAL).
+	ReplicationStats func() any
 }
 
 // DurabilityStats is the persistence telemetry block exposed at /stats.
@@ -172,13 +183,19 @@ func NewServer(cfg Config) (*Server, error) {
 // fail with 503.
 func (s *Server) Close() { s.pool.Close() }
 
-// Handler returns the endpoint's HTTP handler: /sparql, /health, /stats.
-func (s *Server) Handler() http.Handler {
+// Handler returns the endpoint's HTTP handler: /sparql, /health,
+// /stats. Each extra callback may mount additional routes on the same
+// mux (teleios-server uses this for the /replication/v1/ handlers, so
+// WAL shipping needs no second listener or process).
+func (s *Server) Handler(extra ...func(*http.ServeMux)) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sparql", s.handleSparql)
 	mux.HandleFunc("/health", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/", s.handleIndex)
+	for _, fn := range extra {
+		fn(mux)
+	}
 	return mux
 }
 
@@ -269,7 +286,11 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	var format Format
 	if update {
 		if s.cfg.ReadOnly {
-			http.Error(w, "endpoint is read-only", http.StatusForbidden)
+			msg := s.cfg.ReadOnlyMessage
+			if msg == "" {
+				msg = "endpoint is read-only"
+			}
+			http.Error(w, msg, http.StatusForbidden)
 			return
 		}
 		if r.Method == http.MethodGet {
@@ -285,6 +306,42 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		if negErr != nil {
 			http.Error(w, negErr.message, negErr.status)
 			return
+		}
+	}
+
+	cv := s.storeVersion()
+	if !update {
+		// Read-your-writes backstop: a client holding an applied-seq
+		// watermark (from an earlier update's Teleios-Applied-Seq) may
+		// demand this read reflect it. The router normally steers such
+		// reads to a caught-up backend; this check catches direct hits
+		// on a lagging replica — better a retryable 503 than a silent
+		// stale read.
+		if mv := r.Header.Get(replication.HeaderMinVersion); mv != "" && s.cfg.Store != nil {
+			min, perr := strconv.ParseUint(mv, 10, 64)
+			if perr != nil {
+				http.Error(w, "bad "+replication.HeaderMinVersion+" header", http.StatusBadRequest)
+				return
+			}
+			if cv.AppliedSeq < min {
+				w.Header().Set("Retry-After", "1")
+				w.Header().Set(replication.HeaderAppliedSeq, strconv.FormatUint(cv.AppliedSeq, 10))
+				http.Error(w, fmt.Sprintf("store is at applied seq %d, below the requested %d", cv.AppliedSeq, min),
+					http.StatusServiceUnavailable)
+				return
+			}
+		}
+		// The store fingerprint makes a strong validator: identical
+		// (query, version, applied-seq, format) means byte-identical
+		// output, so a matching If-None-Match skips evaluation entirely.
+		if s.cfg.Store != nil {
+			etag := readETag(src, cv, format)
+			w.Header().Set("ETag", etag)
+			if inmMatches(r.Header.Get("If-None-Match"), etag) {
+				w.Header().Set(replication.HeaderAppliedSeq, strconv.FormatUint(cv.AppliedSeq, 10))
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
 		}
 	}
 
@@ -324,9 +381,19 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if update {
+		// The watermark re-read AFTER the update is the client's
+		// read-your-writes token: echo it back in a later read's
+		// Teleios-Min-Version and any backend serving that read is
+		// guaranteed to reflect this write.
+		if s.cfg.Store != nil {
+			w.Header().Set(replication.HeaderAppliedSeq, strconv.FormatUint(s.cfg.Store.AppliedSeq(), 10))
+		}
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"affected\":%d}\n", res.Affected)
 		return
+	}
+	if s.cfg.Store != nil {
+		w.Header().Set(replication.HeaderAppliedSeq, strconv.FormatUint(cv.AppliedSeq, 10))
 	}
 	w.Header().Set("Content-Type", format.ContentType())
 	if err := writeResult(w, res, serForm, format, s.resolveGeom); err != nil {
@@ -359,10 +426,7 @@ func (s *Server) resolveGeom(t rdf.Term) (strdf.SpatialValue, error) {
 // the configured deadline. src is the raw query text (the cache key);
 // parsed is its parse, handed to the engine so it is not re-parsed.
 func (s *Server) evaluate(ctx context.Context, src string, parsed *stsparql.Query, update bool) (*stsparql.Result, error) {
-	var version uint64
-	if s.cfg.Store != nil {
-		version = s.cfg.Store.Version()
-	}
+	version := s.storeVersion()
 	if !update {
 		if res, ok := s.cache.Get(src, version); ok {
 			return res, nil
@@ -411,14 +475,53 @@ func (s *Server) evaluate(ctx context.Context, src string, parsed *stsparql.Quer
 	}
 	if !update && s.cfg.Store != nil &&
 		len(res.Bindings)+len(res.Triples) <= s.cfg.MaxCacheableRows {
-		// Re-read the version: if a concurrent update landed during
+		// Re-read the fingerprint: if a concurrent update landed during
 		// evaluation, caching under the old version would pin a result
 		// that mixes both states. Skip caching in that case.
-		if now := s.cfg.Store.Version(); now == version {
+		if now := s.storeVersion(); now == version {
 			s.cache.Put(src, version, res)
 		}
 	}
 	return res, nil
+}
+
+// storeVersion snapshots the store-state fingerprint that keys the
+// result cache and the ETag. On a replica the AppliedSeq half also
+// moves under replicated writes (which bypass this server's updateMu),
+// keeping cached results from outliving shipped mutations.
+func (s *Server) storeVersion() CacheVersion {
+	if s.cfg.Store == nil {
+		return CacheVersion{}
+	}
+	return CacheVersion{
+		Version:    s.cfg.Store.Version(),
+		AppliedSeq: s.cfg.Store.AppliedSeq(),
+	}
+}
+
+// readETag derives the strong validator for a read: two requests agree
+// iff query text, store fingerprint and serialisation format all agree.
+func readETag(src string, cv CacheVersion, format Format) string {
+	h := fnv.New64a()
+	io.WriteString(h, src)
+	fmt.Fprintf(h, "|%d|%d|%d", cv.Version, cv.AppliedSeq, format)
+	return fmt.Sprintf("\"t%016x\"", h.Sum64())
+}
+
+// inmMatches reports whether an If-None-Match header value matches the
+// given ETag (exact entity-tag or the * wildcard).
+func inmMatches(inm, etag string) bool {
+	if inm == "" {
+		return false
+	}
+	for _, part := range strings.Split(inm, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -431,40 +534,52 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // storeStats mirrors strabon.Stats with the JSON field names the
-// endpoint exposes.
+// endpoint exposes. AppliedSeq is load-bearing beyond telemetry: the
+// replication router's health loop reads store.applied_seq to track
+// each backend's lag and steer watermarked reads.
 type storeStats struct {
-	Triples         int `json:"triples"`
-	Terms           int `json:"terms"`
-	SpatialLiterals int `json:"spatial_literals"`
-	Predicates      int `json:"predicates"`
+	Triples         int    `json:"triples"`
+	Terms           int    `json:"terms"`
+	SpatialLiterals int    `json:"spatial_literals"`
+	Predicates      int    `json:"predicates"`
+	Version         uint64 `json:"version"`
+	AppliedSeq      uint64 `json:"applied_seq"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	var st strabon.Stats
+	ss := storeStats{}
 	if s.cfg.Store != nil {
 		st = s.cfg.Store.Stats()
+		ss.Version = s.cfg.Store.Version()
+		ss.AppliedSeq = s.cfg.Store.AppliedSeq()
 	}
+	ss.Triples = st.Triples
+	ss.Terms = st.Terms
+	ss.SpatialLiterals = st.SpatialLiterals
+	ss.Predicates = st.Predicates
 	var durability DurabilityStats
 	if s.cfg.DurabilityStats != nil {
 		durability = s.cfg.DurabilityStats()
 		durability.Enabled = true
+	}
+	var repl any
+	if s.cfg.ReplicationStats != nil {
+		repl = s.cfg.ReplicationStats()
 	}
 	json.NewEncoder(w).Encode(struct {
 		Store       storeStats      `json:"store"`
 		Cache       CacheStats      `json:"cache"`
 		Pool        PoolStats       `json:"pool"`
 		Persistence DurabilityStats `json:"persistence"`
+		Replication any             `json:"replication,omitempty"`
 	}{
-		Store: storeStats{
-			Triples:         st.Triples,
-			Terms:           st.Terms,
-			SpatialLiterals: st.SpatialLiterals,
-			Predicates:      st.Predicates,
-		},
+		Store:       ss,
 		Cache:       s.cache.Stats(),
 		Pool:        s.pool.Stats(),
 		Persistence: durability,
+		Replication: repl,
 	})
 }
 

@@ -868,16 +868,26 @@ func TestHealthAndStats(t *testing.T) {
 
 // vetoJournal refuses every append after fail is set — the disk-full
 // case surfaced through the update path.
-type vetoJournal struct{ fail bool }
-
-func (j *vetoJournal) LogAdd([]rdf.Triple) error {
-	if j.fail {
-		return errors.New("no space left on device")
-	}
-	return nil
+type vetoJournal struct {
+	fail bool
+	seq  uint64
 }
-func (j *vetoJournal) LogRemove(rdf.Triple) error { return nil }
-func (j *vetoJournal) LogCompact() error          { return nil }
+
+func (j *vetoJournal) LogAdd([]rdf.Triple) (uint64, error) {
+	if j.fail {
+		return 0, errors.New("no space left on device")
+	}
+	j.seq++
+	return j.seq, nil
+}
+func (j *vetoJournal) LogRemove(rdf.Triple) (uint64, error) {
+	j.seq++
+	return j.seq, nil
+}
+func (j *vetoJournal) LogCompact() (uint64, error) {
+	j.seq++
+	return j.seq, nil
+}
 
 // TestUpdateJournalVetoIs500: an update whose WAL append fails must not
 // be acknowledged with a 200 — the client would believe a write durable

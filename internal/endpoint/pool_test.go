@@ -106,25 +106,30 @@ func TestResultCacheVersioningAndLRU(t *testing.T) {
 	c := NewResultCache(2)
 	r1 := &stsparql.Result{Bool: true}
 	r2 := &stsparql.Result{Bool: false}
-	c.Put("q1", 1, r1)
-	if got, ok := c.Get("q1", 1); !ok || got != r1 {
+	v1 := CacheVersion{Version: 1, AppliedSeq: 1}
+	v2 := CacheVersion{Version: 2, AppliedSeq: 1}
+	// Same Version but a moved AppliedSeq must also miss: on a replica,
+	// replicated writes move only the watermark half of the fingerprint.
+	v1seq2 := CacheVersion{Version: 1, AppliedSeq: 2}
+	c.Put("q1", v1, r1)
+	if got, ok := c.Get("q1", v1); !ok || got != r1 {
 		t.Fatal("expected hit at matching version")
 	}
-	if _, ok := c.Get("q1", 2); ok {
-		t.Fatal("stale version must miss")
+	if _, ok := c.Get("q1", v1seq2); ok {
+		t.Fatal("stale applied-seq must miss")
 	}
 	if c.Len() != 0 {
 		t.Fatal("stale entry must be evicted on lookup")
 	}
 	// LRU order: touch q1 so q2 is the eviction victim.
-	c.Put("q1", 2, r1)
-	c.Put("q2", 2, r2)
-	c.Get("q1", 2)
-	c.Put("q3", 2, r1)
-	if _, ok := c.Get("q2", 2); ok {
+	c.Put("q1", v2, r1)
+	c.Put("q2", v2, r2)
+	c.Get("q1", v2)
+	c.Put("q3", v2, r1)
+	if _, ok := c.Get("q2", v2); ok {
 		t.Fatal("q2 should have been evicted")
 	}
-	if _, ok := c.Get("q1", 2); !ok {
+	if _, ok := c.Get("q1", v2); !ok {
 		t.Fatal("q1 should have survived")
 	}
 	if s := c.Stats(); s.Capacity != 2 || s.Entries != 2 {
@@ -134,8 +139,8 @@ func TestResultCacheVersioningAndLRU(t *testing.T) {
 
 func TestResultCacheDisabled(t *testing.T) {
 	c := NewResultCache(-1)
-	c.Put("q", 1, &stsparql.Result{})
-	if _, ok := c.Get("q", 1); ok {
+	c.Put("q", CacheVersion{Version: 1}, &stsparql.Result{})
+	if _, ok := c.Get("q", CacheVersion{Version: 1}); ok {
 		t.Fatal("disabled cache returned a hit")
 	}
 }

@@ -1,0 +1,157 @@
+package endpoint
+
+import (
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// journalOn attaches a seq-advancing journal to the test server's store
+// so the applied-seq watermark actually moves, the way it does on a
+// durable primary. Returns the journal for seq inspection.
+func journalOn(srv *Server) *vetoJournal {
+	j := &vetoJournal{}
+	srv.cfg.Store.SetJournal(j)
+	return j
+}
+
+// TestReadCarriesAppliedSeq: every read response advertises the
+// watermark it was evaluated at — the token a client hands to
+// Teleios-Min-Version for read-your-writes on a replica.
+func TestReadCarriesAppliedSeq(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	j := journalOn(srv)
+	srv.cfg.Store.Add(rdf.NewTriple(rdf.IRI(exNS+"x"), rdf.IRI(exNS+"p"), rdf.Literal("v")))
+
+	resp, _ := get(t, ts.URL, townQuery, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	got := resp.Header.Get("Teleios-Applied-Seq")
+	if got != strconv.FormatUint(j.seq, 10) {
+		t.Fatalf("Teleios-Applied-Seq = %q, want %d", got, j.seq)
+	}
+}
+
+// TestUpdateResponseCarriesWatermark: an acked update's response header
+// is the exact watermark the client must demand to read its own write.
+func TestUpdateResponseCarriesWatermark(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	journalOn(srv)
+
+	resp, err := http.PostForm(ts.URL+"/sparql", url.Values{"update": {
+		`INSERT DATA { <http://example.org/new> <http://example.org/p> "w" }`,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+	hdr := resp.Header.Get("Teleios-Applied-Seq")
+	want := srv.cfg.Store.AppliedSeq()
+	if want == 0 {
+		t.Fatal("journalled update left the watermark at 0")
+	}
+	if hdr != strconv.FormatUint(want, 10) {
+		t.Fatalf("update Teleios-Applied-Seq = %q, want %d", hdr, want)
+	}
+}
+
+// TestMinVersionBackstop: a read demanding a watermark this server has
+// not reached is refused with 503 + Retry-After rather than silently
+// served stale; a satisfied demand is served; garbage is the client's
+// bug (400).
+func TestMinVersionBackstop(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	journalOn(srv)
+	srv.cfg.Store.Add(rdf.NewTriple(rdf.IRI(exNS+"x"), rdf.IRI(exNS+"p"), rdf.Literal("v")))
+	at := srv.cfg.Store.AppliedSeq()
+
+	resp, _ := get(t, ts.URL, townQuery, http.Header{
+		"Teleios-Min-Version": {strconv.FormatUint(at, 10)},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("satisfied watermark: status %d", resp.StatusCode)
+	}
+
+	resp, body := get(t, ts.URL, townQuery, http.Header{
+		"Teleios-Min-Version": {strconv.FormatUint(at+100, 10)},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unsatisfied watermark: status %d, body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if resp.Header.Get("Teleios-Applied-Seq") != strconv.FormatUint(at, 10) {
+		t.Fatalf("503 should report the current watermark, got %q",
+			resp.Header.Get("Teleios-Applied-Seq"))
+	}
+
+	resp, _ = get(t, ts.URL, townQuery, http.Header{"Teleios-Min-Version": {"not-a-number"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage watermark: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestETagRevalidation: the ETag is a strong validator over (query,
+// version, applied-seq, format) — If-None-Match short-circuits to 304
+// until ANY write lands, including one that leaves Version-visible
+// structure alone but moves the watermark.
+func TestETagRevalidation(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	journalOn(srv)
+
+	resp, _ := get(t, ts.URL, townQuery, nil)
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("read response has no ETag")
+	}
+
+	resp, body := get(t, ts.URL, townQuery, http.Header{"If-None-Match": {etag}})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("matching If-None-Match: status %d, body %s", resp.StatusCode, body)
+	}
+	if len(body) != 0 {
+		t.Fatalf("304 carried a body: %q", body)
+	}
+
+	// Wildcard and a list containing the ETag must also match.
+	for _, inm := range []string{"*", `"zzz", ` + etag, "W/" + etag} {
+		resp, _ = get(t, ts.URL, townQuery, http.Header{"If-None-Match": {inm}})
+		if resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("If-None-Match %q: status %d, want 304", inm, resp.StatusCode)
+		}
+	}
+
+	// A write invalidates: same If-None-Match now misses.
+	srv.cfg.Store.Add(rdf.NewTriple(rdf.IRI(exNS+"y"), rdf.IRI(exNS+"p"), rdf.Literal("v2")))
+	resp, _ = get(t, ts.URL, townQuery, http.Header{"If-None-Match": {etag}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale If-None-Match after write: status %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") == etag {
+		t.Fatal("ETag unchanged across a write")
+	}
+}
+
+// TestETagVariesByFormat: the validator covers the negotiated format —
+// a JSON 304 must never be served against a CSV cache entry.
+func TestETagVariesByFormat(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	journalOn(srv)
+
+	respJSON, _ := get(t, ts.URL, townQuery, http.Header{"Accept": {"application/sparql-results+json"}})
+	respCSV, _ := get(t, ts.URL, townQuery, http.Header{"Accept": {"text/csv"}})
+	j, c := respJSON.Header.Get("ETag"), respCSV.Header.Get("ETag")
+	if j == "" || c == "" || j == c {
+		t.Fatalf("format-blind ETags: json=%q csv=%q", j, c)
+	}
+}

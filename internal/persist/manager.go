@@ -80,6 +80,13 @@ type Options struct {
 	// NoCheckpointOnClose skips the final checkpoint in Close — restart
 	// then replays the WAL instead (tests use this to exercise replay).
 	NoCheckpointOnClose bool
+	// NoJournal leaves the recovered store's journal detached: the
+	// Manager still owns the WAL, snapshots and checkpointing, but store
+	// mutations are NOT logged through it. This is the replica mode —
+	// records arrive pre-assigned from the primary via ApplyReplicated
+	// (which appends them verbatim and then applies them), and attaching
+	// the journal too would double-log every replayed mutation.
+	NoJournal bool
 	// Logf receives recovery and background-error diagnostics
 	// (default: discard).
 	Logf func(format string, args ...any)
@@ -137,6 +144,11 @@ type Manager struct {
 	recoveryTook time.Duration
 	replayed     uint64
 
+	// tailCh is closed and replaced on every append so WAL-shipping
+	// long-polls (WaitSeq) wake without polling; guarded by tailMu.
+	tailMu sync.Mutex
+	tailCh chan struct{}
+
 	ckptCh    chan struct{}
 	stopCh    chan struct{}
 	wg        sync.WaitGroup
@@ -164,6 +176,7 @@ func Open(o Options) (*Manager, *strabon.Store, error) {
 		opts:   opts,
 		ckptCh: make(chan struct{}, 1),
 		stopCh: make(chan struct{}),
+		tailCh: make(chan struct{}),
 	}
 	start := time.Now()
 
@@ -278,9 +291,14 @@ func Open(o Options) (*Manager, *strabon.Store, error) {
 	}
 	m.recoveryTook = time.Since(start)
 
-	// 4. Go live: journal future writes, run the background loops.
+	// 4. Go live: journal future writes, run the background loops. The
+	// applied-seq watermark is seeded with everything recovery installed
+	// (snapshot plus replayed tail).
 	m.store = st
-	st.SetJournal(m)
+	st.SetAppliedSeq(lastSeq)
+	if !opts.NoJournal {
+		st.SetJournal(m)
+	}
 	m.wg.Add(1)
 	go m.background()
 	return m, st, nil
@@ -328,18 +346,22 @@ func (m *Manager) applyRecord(st *strabon.Store, rec walRecord) error {
 	return nil
 }
 
-// append journals one record; called from the strabon.Journal hooks,
-// i.e. under the store's write lock.
-func (m *Manager) append(op byte, body []byte) error {
+// append journals one record and returns the sequence number it was
+// assigned; called from the strabon.Journal hooks, i.e. under the
+// store's write lock.
+func (m *Manager) append(op byte, body []byte) (uint64, error) {
 	m.walMu.Lock()
 	n, err := m.w.append(op, body, m.opts.SyncMode == SyncAlways)
+	var seq uint64
 	if err == nil {
-		m.seq.Store(m.w.seq)
+		seq = m.w.seq
+		m.seq.Store(seq)
 	}
 	m.walMu.Unlock()
 	if err != nil {
-		return err
+		return 0, err
 	}
+	m.notifyTail()
 	live := m.walLive.Add(n)
 	if m.opts.CheckpointBytes > 0 && live >= m.opts.CheckpointBytes && m.seq.Load() > m.ckptSeq.Load() {
 		select {
@@ -347,11 +369,11 @@ func (m *Manager) append(op byte, body []byte) error {
 		default:
 		}
 	}
-	return nil
+	return seq, nil
 }
 
 // LogAdd implements strabon.Journal.
-func (m *Manager) LogAdd(triples []rdf.Triple) error {
+func (m *Manager) LogAdd(triples []rdf.Triple) (uint64, error) {
 	b := m.logScratch[:0]
 	b = append(b, byte(len(triples)), byte(len(triples)>>8), byte(len(triples)>>16), byte(len(triples)>>24))
 	for _, t := range triples {
@@ -369,14 +391,14 @@ func (m *Manager) LogAdd(triples []rdf.Triple) error {
 }
 
 // LogRemove implements strabon.Journal.
-func (m *Manager) LogRemove(t rdf.Triple) error {
+func (m *Manager) LogRemove(t rdf.Triple) (uint64, error) {
 	b := appendTriple(m.logScratch[:0], t)
 	m.logScratch = b[:0]
 	return m.append(opRemove, b)
 }
 
 // LogCompact implements strabon.Journal.
-func (m *Manager) LogCompact() error { return m.append(opCompact, nil) }
+func (m *Manager) LogCompact() (uint64, error) { return m.append(opCompact, nil) }
 
 // SyncWAL forces buffered WAL bytes to stable storage (a no-op under
 // SyncAlways).

@@ -1,0 +1,265 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// TestRecordScannerRoundtrip: AppendRecord's wire encoding must decode
+// back through RecordScanner byte-for-byte, across multiple records.
+func TestRecordScannerRoundtrip(t *testing.T) {
+	var wire []byte
+	bodies := [][]byte{[]byte("alpha"), {}, bytes.Repeat([]byte{0xAB}, 1000)}
+	for i, b := range bodies {
+		wire = AppendRecord(wire, uint64(i+1), opAdd, b)
+	}
+	sc := NewRecordScanner(bytes.NewReader(wire), 0)
+	for i, want := range bodies {
+		seq, op, body, err := sc.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if seq != uint64(i+1) || op != opAdd || !bytes.Equal(body, want) {
+			t.Fatalf("record %d: got seq=%d op=%d len=%d", i, seq, op, len(body))
+		}
+	}
+	if _, _, _, err := sc.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+// TestRecordScannerTornStream: every strict prefix of a record — the
+// shape a SIGKILLed primary leaves on the wire — must surface as
+// ErrTornRecord, never as a short/garbled record or a clean EOF.
+func TestRecordScannerTornStream(t *testing.T) {
+	full := AppendRecord(nil, 1, opAdd, []byte("payload-payload-payload"))
+	for cut := 1; cut < len(full); cut++ {
+		sc := NewRecordScanner(bytes.NewReader(full[:cut]), 0)
+		if _, _, _, err := sc.Next(); !errors.Is(err, ErrTornRecord) {
+			t.Fatalf("cut at %d/%d: want ErrTornRecord, got %v", cut, len(full), err)
+		}
+	}
+}
+
+// TestRecordScannerCorruptPayload: a bit flip inside the payload fails
+// the CRC and must be reported as torn, not applied.
+func TestRecordScannerCorruptPayload(t *testing.T) {
+	wire := AppendRecord(nil, 1, opAdd, []byte("payload"))
+	wire[len(wire)-1] ^= 0x01
+	sc := NewRecordScanner(bytes.NewReader(wire), 0)
+	if _, _, _, err := sc.Next(); !errors.Is(err, ErrTornRecord) {
+		t.Fatalf("want ErrTornRecord on CRC mismatch, got %v", err)
+	}
+}
+
+// TestRecordScannerSequenceGap: a continuity break (the stream skipped
+// a record) is a protocol error distinct from tearing — retrying the
+// same stream would apply a gapped history.
+func TestRecordScannerSequenceGap(t *testing.T) {
+	var wire []byte
+	wire = AppendRecord(wire, 1, opAdd, []byte("a"))
+	wire = AppendRecord(wire, 3, opAdd, []byte("c")) // 2 missing
+	sc := NewRecordScanner(bytes.NewReader(wire), 0)
+	if _, _, _, err := sc.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := sc.Next(); err == nil || errors.Is(err, ErrTornRecord) || errors.Is(err, io.EOF) {
+		t.Fatalf("want out-of-order error, got %v", err)
+	}
+}
+
+func testTriple(i int) rdf.Triple {
+	return rdf.NewTriple(
+		rdf.IRI("http://ex/s"),
+		rdf.IRI("http://ex/p"),
+		rdf.IntegerLiteral(int64(i)),
+	)
+}
+
+// TestReadWALShipsAndTrims: ReadWAL must replay exactly the records
+// past the cursor, and once a checkpoint prunes the log a cursor from
+// before the horizon must get ErrWALTrimmed (the re-bootstrap signal),
+// not a silent gap.
+func TestReadWALShipsAndTrims(t *testing.T) {
+	dir := t.TempDir()
+	m, st, err := Open(Options{Dir: dir, SyncMode: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 10; i++ {
+		st.Add(testTriple(i))
+	}
+	var seqs []uint64
+	last, err := m.ReadWAL(4, 1<<20, func(seq uint64, op byte, body []byte) error {
+		seqs = append(seqs, seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 6 || seqs[0] != 5 || last != 10 {
+		t.Fatalf("seqs=%v last=%d, want 5..10", seqs, last)
+	}
+
+	// Byte budget: a tiny cap must still make progress (at least one
+	// record per call) without overshooting the full tail.
+	var n int
+	if _, err := m.ReadWAL(0, 1, func(uint64, byte, []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n >= 10 {
+		t.Fatalf("budgeted read shipped %d records", n)
+	}
+
+	// Checkpoint prunes sealed segments; a pre-horizon cursor must 410.
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st.Add(testTriple(100)) // roll a fresh record past the checkpoint
+	if _, err := m.ReadWAL(0, 1<<20, func(uint64, byte, []byte) error { return nil }); !errors.Is(err, ErrWALTrimmed) {
+		t.Fatalf("want ErrWALTrimmed below the horizon, got %v", err)
+	}
+	// At or past the horizon the read still works.
+	if _, err := m.ReadWAL(m.SnapshotSeq(), 1<<20, func(uint64, byte, []byte) error { return nil }); err != nil {
+		t.Fatalf("read at horizon: %v", err)
+	}
+}
+
+// TestApplyReplicatedLockstep: a replica manager fed via ApplyReplicated
+// must mirror the primary's store AND its WAL numbering, reject gaps,
+// and move the store watermark with every applied record.
+func TestApplyReplicatedLockstep(t *testing.T) {
+	pDir, rDir := t.TempDir(), t.TempDir()
+	pm, ps, err := Open(Options{Dir: pDir, SyncMode: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pm.Close()
+	rm, rs, err := Open(Options{Dir: rDir, SyncMode: SyncNone, NoJournal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		ps.Add(testTriple(i))
+	}
+	ps.Remove(testTriple(0))
+
+	ship := func() {
+		t.Helper()
+		if _, err := pm.ReadWAL(rm.LastSeq(), 1<<20, func(seq uint64, op byte, body []byte) error {
+			return rm.ApplyReplicated(seq, op, body)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ship()
+	if rs.Len() != ps.Len() || rm.LastSeq() != pm.LastSeq() {
+		t.Fatalf("replica len=%d seq=%d, primary len=%d seq=%d",
+			rs.Len(), rm.LastSeq(), ps.Len(), pm.LastSeq())
+	}
+	if rs.AppliedSeq() != rm.LastSeq() {
+		t.Fatalf("watermark %d != wal seq %d", rs.AppliedSeq(), rm.LastSeq())
+	}
+
+	// Gaps and replays are rejected up front.
+	if err := rm.ApplyReplicated(rm.LastSeq()+2, opCompact, nil); err == nil {
+		t.Fatal("gap accepted")
+	}
+	if err := rm.ApplyReplicated(rm.LastSeq(), opCompact, nil); err == nil {
+		t.Fatal("replay accepted")
+	}
+
+	// The replica's own WAL must recover to the identical state: close
+	// without checkpoint and reopen (the crash-resume path).
+	if err := rm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rm2, rs2, err := Open(Options{Dir: rDir, SyncMode: SyncNone, NoJournal: true, NoCheckpointOnClose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rm2.Close()
+	if rs2.Len() != ps.Len() || rm2.LastSeq() != pm.LastSeq() || rs2.AppliedSeq() != pm.LastSeq() {
+		t.Fatalf("recovered replica len=%d seq=%d watermark=%d, want %d/%d/%d",
+			rs2.Len(), rm2.LastSeq(), rs2.AppliedSeq(), ps.Len(), pm.LastSeq(), pm.LastSeq())
+	}
+
+	// And keep tailing: new primary writes ship onto the recovered WAL.
+	ps.Add(testTriple(99))
+	if _, err := pm.ReadWAL(rm2.LastSeq(), 1<<20, func(seq uint64, op byte, body []byte) error {
+		return rm2.ApplyReplicated(seq, op, body)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rm2.LastSeq() != pm.LastSeq() {
+		t.Fatalf("resumed tail: replica seq %d, primary %d", rm2.LastSeq(), pm.LastSeq())
+	}
+}
+
+// TestVerifySnapshotCatchesCorruption: VerifySnapshot must accept the
+// checkpointer's own output and reject any single-byte corruption — the
+// gate a replica applies to a downloaded bootstrap image.
+func TestVerifySnapshotCatchesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	m, st, err := Open(Options{Dir: dir, SyncMode: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 8; i++ {
+		st.Add(testTriple(i))
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	path, seq, ok := m.NewestSnapshot()
+	if !ok {
+		t.Fatal("no snapshot after checkpoint")
+	}
+	got, err := VerifySnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != seq {
+		t.Fatalf("VerifySnapshot seq=%d, want %d", got, seq)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	bad := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifySnapshot(bad); err == nil {
+		t.Fatal("corrupt snapshot passed verification")
+	}
+}
+
+// TestWaitSeqWakesOnAppend: WaitSeq must park while the log is at the
+// cursor and wake promptly when a record lands.
+func TestWaitSeqWakesOnAppend(t *testing.T) {
+	dir := t.TempDir()
+	m, st, err := Open(Options{Dir: dir, SyncMode: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st.Add(testTriple(1))
+	done := make(chan uint64, 1)
+	go func() {
+		done <- m.WaitSeq(t.Context(), 1)
+	}()
+	st.Add(testTriple(2))
+	if got := <-done; got < 2 {
+		t.Fatalf("WaitSeq woke at %d, want >= 2", got)
+	}
+}

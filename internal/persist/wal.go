@@ -186,11 +186,22 @@ func openSegmentForAppend(path string, validSize int64) (*os.File, int64, error)
 	return f, size, nil
 }
 
-// append writes one record and reports its size in bytes. sync forces an
-// fsync after the write.
+// append writes one record under the next sequence number and reports
+// its size in bytes. sync forces an fsync after the write.
 func (w *wal) append(op byte, body []byte, sync bool) (int64, error) {
+	return w.appendSeq(w.seq+1, op, body, sync)
+}
+
+// appendSeq writes one record under an explicit sequence number — the
+// replica path, where the primary already assigned it. seq must be
+// exactly w.seq+1; the caller validates continuity against the shipped
+// stream before getting here.
+func (w *wal) appendSeq(seq uint64, op byte, body []byte, sync bool) (int64, error) {
 	if w.failed {
 		return 0, errWALBroken
+	}
+	if seq != w.seq+1 {
+		return 0, fmt.Errorf("persist: wal append out of order: record %d after %d", seq, w.seq)
 	}
 	// Enforce the same record bound recovery enforces: a payload the
 	// scanner would reject as implausible must never be acknowledged.
@@ -198,7 +209,6 @@ func (w *wal) append(op byte, body []byte, sync bool) (int64, error) {
 	if len(body)+9 > maxRecordBytes {
 		return 0, fmt.Errorf("persist: wal record of %d bytes exceeds the %d-byte limit; split the batch", len(body)+9, maxRecordBytes)
 	}
-	seq := w.seq + 1
 	// record = len | crc | seq | op | body, assembled in one buffer so the
 	// kernel sees a single write (a torn append is then a clean prefix).
 	need := 8 + 8 + 1 + len(body)

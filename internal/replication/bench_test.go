@@ -1,0 +1,160 @@
+package replication
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/rdf"
+)
+
+// benchRecord is one shipped WAL record captured off a real primary.
+type benchRecord struct {
+	op   byte
+	body []byte
+}
+
+// captureRecords journals n single-triple adds through a real durable
+// primary and reads its WAL back — the exact bytes a tail stream would
+// carry.
+func captureRecords(b *testing.B, n int) []benchRecord {
+	b.Helper()
+	mgr, st, err := persist.Open(persist.Options{
+		Dir:                 b.TempDir(),
+		SyncMode:            persist.SyncNone,
+		NoCheckpointOnClose: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	batch := make([]rdf.Triple, 0, 64)
+	for i := 0; i < n; i++ {
+		batch = append(batch, rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://bench/s%d", i)),
+			rdf.IRI("http://bench/p"),
+			rdf.IntegerLiteral(int64(i)),
+		))
+		if len(batch) == cap(batch) || i == n-1 {
+			st.AddAll(batch)
+			batch = batch[:0]
+		}
+	}
+	var recs []benchRecord
+	if _, err := mgr.ReadWAL(0, 1<<40, func(seq uint64, op byte, body []byte) error {
+		cp := append([]byte(nil), body...)
+		recs = append(recs, benchRecord{op: op, body: cp})
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return recs
+}
+
+// BenchmarkTailApply measures the replica-side apply path: shipped WAL
+// records (64-triple add batches) going through ApplyReplicated into the
+// store and the local WAL — the per-record cost that bounds how fast a
+// replica can drain its tail. Reported per RECORD; triples/sec is
+// ~64x the record rate.
+func BenchmarkTailApply(b *testing.B) {
+	recs := captureRecords(b, 64*256) // 256 records of 64 triples
+	mgr, _, err := persist.Open(persist.Options{
+		Dir:                 b.TempDir(),
+		SyncMode:            persist.SyncNone,
+		NoJournal:           true,
+		NoCheckpointOnClose: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	seq := uint64(0)
+	for i := 0; i < b.N; i++ {
+		r := recs[i%len(recs)]
+		seq++
+		if err := mgr.ApplyReplicated(seq, r.op, r.body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := b.Elapsed()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)*64/elapsed.Seconds(), "triples/s")
+	}
+}
+
+// BenchmarkReplicaBootstrap measures a cold replica boot against a
+// checkpointed primary: snapshot fetch over HTTP, atomic install,
+// CRC verification, recovery open, and catching up to the primary's
+// watermark. One iteration = one full bootstrap into a fresh dir.
+func BenchmarkReplicaBootstrap(b *testing.B) {
+	tp := newBenchPrimary(b, 20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := OpenReplica(ReplicaOptions{
+			Primary:             tp.ts.URL,
+			Dir:                 b.TempDir(),
+			PollWait:            50 * time.Millisecond,
+			NoCheckpointOnClose: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := tp.mgr.LastSeq()
+		for rep.AppliedSeq() < want {
+			time.Sleep(200 * time.Microsecond)
+		}
+		if !rep.Stats().Bootstrapped {
+			b.Fatal("bootstrap bench replica did not bootstrap")
+		}
+		b.StopTimer()
+		rep.Close()
+		b.StartTimer()
+	}
+}
+
+// newBenchPrimary stands up a checkpointed primary carrying n synthetic
+// triples for the bootstrap bench.
+func newBenchPrimary(b *testing.B, n int) *testPrimary {
+	b.Helper()
+	tp := &testPrimary{t: nil, dir: b.TempDir()}
+	mgr, st, err := persist.Open(persist.Options{
+		Dir:                 tp.dir,
+		SyncMode:            persist.SyncNone,
+		NoCheckpointOnClose: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tp.mgr, tp.st = mgr, st
+	tp.prim = NewPrimary(mgr)
+	tp.prim.LongPoll = 100 * time.Millisecond
+	mux := http.NewServeMux()
+	tp.prim.Register(mux)
+	tp.ts = httptest.NewServer(mux)
+	b.Cleanup(func() {
+		tp.ts.Close()
+		tp.mgr.Close()
+	})
+	batch := make([]rdf.Triple, 0, 512)
+	for i := 0; i < n; i++ {
+		batch = append(batch, rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("http://bench/s%d", i)),
+			rdf.IRI("http://bench/p"),
+			rdf.IntegerLiteral(int64(i)),
+		))
+		if len(batch) == cap(batch) || i == n-1 {
+			st.AddAll(batch)
+			batch = batch[:0]
+		}
+	}
+	if err := mgr.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	return tp
+}

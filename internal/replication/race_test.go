@@ -1,0 +1,159 @@
+package replication
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// TestReplicationSoakRace is the -race soak: concurrent journalled
+// writers and checkpoints on the primary while two replicas tail and
+// serve. It asserts the replication invariants end to end:
+//
+//   - each replica's applied-seq watermark is MONOTONIC (a regression
+//     would let a client's read-your-writes token "succeed" against a
+//     state that later vanishes);
+//   - no stale read below a requested watermark: once a replica reports
+//     applied-seq >= w, every triple journalled at or before w is
+//     visible in its store;
+//   - both replicas converge to the primary's exact triple count and
+//     final watermark once writers stop.
+func TestReplicationSoakRace(t *testing.T) {
+	tp := newTestPrimary(t)
+	repA := newReplica(t, tp, "")
+	repB := newReplica(t, tp, "")
+	replicas := []*Replica{repA, repB}
+
+	// Watermark monitors: sample each replica's applied seq as fast as
+	// possible and fail on any regression.
+	stopMon := make(chan struct{})
+	var monWG sync.WaitGroup
+	var regressions atomic.Uint64
+	for _, rep := range replicas {
+		monWG.Add(1)
+		go func(rep *Replica) {
+			defer monWG.Done()
+			var prev uint64
+			for {
+				select {
+				case <-stopMon:
+					return
+				default:
+				}
+				now := rep.AppliedSeq()
+				if now < prev {
+					regressions.Add(1)
+					return
+				}
+				prev = now
+				time.Sleep(100 * time.Microsecond)
+			}
+		}(rep)
+	}
+
+	// Checkpoint hammer: concurrent snapshots on the primary while it
+	// both accepts writes and ships its WAL.
+	stopCkpt := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	ckptWG.Add(1)
+	go func() {
+		defer ckptWG.Done()
+		for {
+			select {
+			case <-stopCkpt:
+				return
+			case <-time.After(5 * time.Millisecond):
+				if err := tp.mgr.Checkpoint(); err != nil {
+					t.Errorf("checkpoint: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Writers: journalled batches plus interleaved removes. Each writer
+	// records (triple, watermark-after-write) pairs for the staleness
+	// check below.
+	type ack struct {
+		triple rdf.Triple
+		seq    uint64
+	}
+	const writers, batches = 4, 40
+	ackCh := make(chan ack, writers*batches)
+	var wWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wWG.Add(1)
+		go func(w int) {
+			defer wWG.Done()
+			for i := 0; i < batches; i++ {
+				batch := make([]rdf.Triple, 0, 3)
+				for k := 0; k < 3; k++ {
+					batch = append(batch, rdf.NewTriple(
+						rdf.IRI(fmt.Sprintf("http://ex/w%d-b%d-%d", w, i, k)),
+						rdf.IRI("http://ex/p"),
+						rdf.IntegerLiteral(int64(i)),
+					))
+				}
+				tp.st.AddAll(batch)
+				// The store watermark AFTER the write is this write's
+				// read-your-writes token.
+				ackCh <- ack{triple: batch[0], seq: tp.st.AppliedSeq()}
+				if i%7 == 0 {
+					tp.st.Remove(batch[2])
+				}
+			}
+		}(w)
+	}
+	wWG.Wait()
+	close(ackCh)
+	close(stopCkpt)
+	ckptWG.Wait()
+
+	// Staleness check: for every acked write, once a replica's watermark
+	// reaches the ack's seq the triple must be visible. Dict/Cardinality
+	// are read-locked, so probing races harmlessly with the tail loop.
+	contains := func(rep *Replica, tr rdf.Triple) bool {
+		for _, got := range rep.Store().Triples() {
+			if got == tr {
+				return true
+			}
+		}
+		return false
+	}
+	final := tp.mgr.LastSeq()
+	for _, rep := range replicas {
+		waitApplied(t, rep.AppliedSeq, final)
+	}
+	for a := range ackCh {
+		for ri, rep := range replicas {
+			// Watermark already >= a.seq (we waited for `final` above), so
+			// visibility must hold NOW — no waiting, no excuses.
+			if rep.AppliedSeq() < a.seq {
+				t.Fatalf("replica %d watermark %d below acked %d after convergence", ri, rep.AppliedSeq(), a.seq)
+			}
+			if !contains(rep, a.triple) {
+				t.Fatalf("replica %d at watermark %d is missing triple %v acked at seq %d — stale read",
+					ri, rep.AppliedSeq(), a.triple, a.seq)
+			}
+		}
+	}
+
+	close(stopMon)
+	monWG.Wait()
+	if regressions.Load() != 0 {
+		t.Fatal("replica applied-seq watermark regressed")
+	}
+	for ri, rep := range replicas {
+		if got, want := rep.Store().Len(), tp.st.Len(); got != want {
+			t.Fatalf("replica %d has %d triples, primary %d", ri, got, want)
+		}
+		s := rep.Stats()
+		if s.AppliedSeq != final || s.Lag != 0 {
+			t.Fatalf("replica %d stats: applied=%d lag=%d, want applied=%d lag=0", ri, s.AppliedSeq, s.Lag, final)
+		}
+	}
+}

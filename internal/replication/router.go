@@ -1,0 +1,543 @@
+package replication
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stsparql"
+)
+
+// HeaderTenant pins all of one tenant's queries to one replica
+// regardless of query text, keeping their working set hot in a single
+// result cache. When absent the query text itself is the hash key, so
+// identical queries land on the same replica and hit its cache.
+const HeaderTenant = "Teleios-Tenant"
+
+// defaultVnodes is the virtual-node count per backend on the hash ring.
+// 64 vnodes keeps the load split within a few percent of even for small
+// clusters while the ring stays tiny (hundreds of points).
+const defaultVnodes = 64
+
+// RouterOptions configures NewRouter.
+type RouterOptions struct {
+	// Primary is the writable backend's base URL. Required. All updates,
+	// unparseable queries and watermark fall-throughs go here.
+	Primary string
+	// Replicas are the read backends' base URLs (the primary may appear
+	// here too, to take a share of reads).
+	Replicas []string
+	// Vnodes per backend on the consistent-hash ring (default 64).
+	Vnodes int
+	// HealthEvery is the health/lag poll interval (default 1s).
+	HealthEvery time.Duration
+	// FailAfter ejects a replica after this many consecutive failed
+	// health checks (default 2); one success readmits it.
+	FailAfter int
+	// Client is used for health checks (proxying uses its Transport;
+	// default http.DefaultTransport).
+	Client *http.Client
+	// Logf receives routing diagnostics (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// backend is one read target on the ring.
+type backend struct {
+	name string // base URL, the stable ring identity
+	url  *url.URL
+	// proxy is reused across requests (connection pooling lives in the
+	// transport).
+	proxy *httputil.ReverseProxy
+
+	healthy    atomic.Bool
+	appliedSeq atomic.Uint64
+	fails      atomic.Int32 // consecutive health-check failures
+	requests   atomic.Uint64
+	errors     atomic.Uint64
+}
+
+// Router proxies /sparql across a primary and a set of replicas.
+//
+// Reads hash onto a consistent ring of all *configured* replicas —
+// membership never changes at runtime, only health does — so when a
+// replica is ejected its keys spill to the next ring owner and return
+// to the exact same home on readmission. Updates and queries that fail
+// to parse go to the primary. A Teleios-Min-Version header routes to a
+// backend whose applied-seq watermark has reached that value, falling
+// through to the primary (which is by definition current) when no
+// replica has caught up.
+type Router struct {
+	opts     RouterOptions
+	primary  *backend
+	replicas []*backend
+	ring     []ringPoint // sorted by hash
+	start    time.Time
+
+	routedReads    atomic.Uint64
+	routedUpdates  atomic.Uint64
+	fallthroughs   atomic.Uint64 // watermark or health fall-through to primary
+	retries        atomic.Uint64 // candidate failed, tried the next one
+	unavailable    atomic.Uint64 // 503s issued
+	healthStopOnce sync.Once
+	healthStop     chan struct{}
+	healthDone     chan struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	b    *backend
+}
+
+// NewRouter builds the ring and starts the health loop.
+func NewRouter(o RouterOptions) (*Router, error) {
+	if o.Primary == "" {
+		return nil, fmt.Errorf("replication: RouterOptions.Primary is required")
+	}
+	if o.Vnodes <= 0 {
+		o.Vnodes = defaultVnodes
+	}
+	if o.HealthEvery <= 0 {
+		o.HealthEvery = time.Second
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 2
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	rt := &Router{
+		opts:       o,
+		healthStop: make(chan struct{}),
+		healthDone: make(chan struct{}),
+		start:      time.Now(),
+	}
+	var err error
+	if rt.primary, err = newBackend(o.Primary, o.Client); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, raw := range o.Replicas {
+		if raw == "" || seen[raw] {
+			continue
+		}
+		seen[raw] = true
+		b, err := newBackend(raw, o.Client)
+		if err != nil {
+			return nil, err
+		}
+		rt.replicas = append(rt.replicas, b)
+		for v := 0; v < o.Vnodes; v++ {
+			rt.ring = append(rt.ring, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", b.name, v)), b: b})
+		}
+	}
+	sort.Slice(rt.ring, func(i, j int) bool { return rt.ring[i].hash < rt.ring[j].hash })
+	go rt.healthLoop()
+	return rt, nil
+}
+
+func newBackend(raw string, client *http.Client) (*backend, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("replication: bad backend URL %q: %w", raw, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("replication: backend URL %q needs scheme and host", raw)
+	}
+	b := &backend{name: raw, url: u}
+	b.proxy = httputil.NewSingleHostReverseProxy(u)
+	if client.Transport != nil {
+		b.proxy.Transport = client.Transport
+	}
+	// Swallow the default panic-ish logging; errors surface through the
+	// retry path's ErrorHandler set per request.
+	b.healthy.Store(true) // optimistic until the first health check
+	return b, nil
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	return mix64(h.Sum64())
+}
+
+// mix64 is the 64-bit avalanche finalizer from MurmurHash3. FNV-1a
+// alone is unusable for ring points: vnode keys differ only in a short
+// trailing counter, and FNV's last-byte step leaves such hashes spaced
+// by exact multiples of the FNV prime — the entire ring collapses into
+// one tiny arc and every query key maps to the same first owner. The
+// finalizer spreads those clustered hashes uniformly over 2^64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Register mounts the router's handlers on mux.
+func (rt *Router) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/sparql", rt.handleSparql)
+	mux.HandleFunc("/stats", rt.handleStats)
+	mux.HandleFunc("/health", rt.handleHealth)
+}
+
+// Close stops the health loop.
+func (rt *Router) Close() {
+	rt.healthStopOnce.Do(func() {
+		close(rt.healthStop)
+		<-rt.healthDone
+	})
+}
+
+// healthLoop polls every backend's /stats for liveness and applied-seq.
+func (rt *Router) healthLoop() {
+	defer close(rt.healthDone)
+	t := time.NewTicker(rt.opts.HealthEvery)
+	defer t.Stop()
+	rt.checkAll() // first pass immediately, not after one interval
+	for {
+		select {
+		case <-rt.healthStop:
+			return
+		case <-t.C:
+			rt.checkAll()
+		}
+	}
+}
+
+func (rt *Router) checkAll() {
+	var wg sync.WaitGroup
+	for _, b := range append([]*backend{rt.primary}, rt.replicas...) {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			rt.checkOne(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// statsProbe is the slice of a backend's /stats the router cares about.
+type statsProbe struct {
+	Store struct {
+		AppliedSeq uint64 `json:"applied_seq"`
+	} `json:"store"`
+}
+
+func (rt *Router) checkOne(b *backend) {
+	resp, err := rt.opts.Client.Get(b.name + "/stats")
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if err == nil {
+		if ok {
+			var probe statsProbe
+			if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&probe) == nil {
+				b.appliedSeq.Store(probe.Store.AppliedSeq)
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if ok {
+		if b.fails.Swap(0) >= int32(rt.opts.FailAfter) {
+			rt.opts.Logf("replication: router readmitting %s", b.name)
+		}
+		b.healthy.Store(true)
+		return
+	}
+	if n := b.fails.Add(1); n == int32(rt.opts.FailAfter) {
+		rt.opts.Logf("replication: router ejecting %s after %d failed checks (%v)", b.name, n, err)
+	}
+	if b.fails.Load() >= int32(rt.opts.FailAfter) {
+		b.healthy.Store(false)
+	}
+}
+
+// routeKey picks the hash key: the tenant header when present (pinning
+// a tenant's whole workload to one replica), else the query text.
+func routeKey(r *http.Request, query string) string {
+	if t := r.Header.Get(HeaderTenant); t != "" {
+		return "tenant:" + t
+	}
+	return "query:" + query
+}
+
+// owners walks the ring from the key's position and returns the
+// distinct healthy backends in preference order. Ring membership is
+// static, so ejection only diverts keys while the owner is out.
+func (rt *Router) owners(key string, minSeq uint64) []*backend {
+	if len(rt.ring) == 0 {
+		return nil
+	}
+	h := hashKey(key)
+	i := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= h })
+	if i == len(rt.ring) {
+		i = 0
+	}
+	var out []*backend
+	seen := map[*backend]bool{}
+	for n := 0; n < len(rt.ring) && len(out) < len(rt.replicas); n++ {
+		b := rt.ring[(i+n)%len(rt.ring)].b
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if !b.healthy.Load() {
+			continue
+		}
+		if minSeq > 0 && b.appliedSeq.Load() < minSeq {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// extractQuery pulls the SPARQL text out of a request without consuming
+// the body (the body is restored for proxying).
+func extractQuery(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		return r.URL.Query().Get("query"), nil
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+		if err != nil {
+			return "", err
+		}
+		r.Body.Close()
+		r.Body = io.NopCloser(strings.NewReader(string(body)))
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/x-www-form-urlencoded") {
+			vals, err := url.ParseQuery(string(body))
+			if err != nil {
+				return "", err
+			}
+			if q := vals.Get("query"); q != "" {
+				return q, nil
+			}
+			return vals.Get("update"), nil
+		}
+		// application/sparql-query or raw body
+		return string(body), nil
+	default:
+		return "", nil
+	}
+}
+
+// isUpdate reports whether the query mutates the store. Parse errors
+// count as updates: the primary is the only backend guaranteed to give
+// the same error the client would see without a router in between.
+func isUpdate(query string) bool {
+	q, err := stsparql.ParseQuery(query)
+	if err != nil {
+		return true
+	}
+	switch q.Form {
+	case stsparql.FormInsertData, stsparql.FormDeleteData, stsparql.FormModify:
+		return true
+	}
+	return false
+}
+
+func (rt *Router) handleSparql(w http.ResponseWriter, r *http.Request) {
+	query, err := extractQuery(r)
+	if err != nil {
+		http.Error(w, "reading request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if isUpdate(query) {
+		rt.routedUpdates.Add(1)
+		rt.proxyTo(rt.primary, w, r, nil)
+		return
+	}
+	rt.routedReads.Add(1)
+
+	var minSeq uint64
+	if mv := r.Header.Get(HeaderMinVersion); mv != "" {
+		v, err := strconv.ParseUint(mv, 10, 64)
+		if err != nil {
+			http.Error(w, "bad "+HeaderMinVersion+" header", http.StatusBadRequest)
+			return
+		}
+		minSeq = v
+	}
+
+	candidates := rt.owners(routeKey(r, query), minSeq)
+	if len(candidates) == 0 {
+		// No replica qualifies (all ejected, or all behind the client's
+		// watermark): the primary serves the read itself — it is always
+		// at its own watermark. Only an unhealthy primary turns this
+		// into a 503.
+		rt.fallthroughs.Add(1)
+		if !rt.primary.healthy.Load() {
+			rt.unavailable.Add(1)
+			http.Error(w, "no backend can satisfy this read", http.StatusServiceUnavailable)
+			return
+		}
+		rt.proxyTo(rt.primary, w, r, nil)
+		return
+	}
+
+	// Body was already buffered by extractQuery for POSTs, so retrying
+	// the next candidate on transport error is safe.
+	body, _ := io.ReadAll(r.Body)
+	for i, b := range candidates {
+		if i > 0 {
+			rt.retries.Add(1)
+		}
+		r.Body = io.NopCloser(strings.NewReader(string(body)))
+		if rt.proxyTo(b, w, r, body) {
+			return
+		}
+	}
+	// Every candidate failed at the transport level; last resort is the
+	// primary, mirroring the empty-candidate path.
+	rt.fallthroughs.Add(1)
+	if rt.primary.healthy.Load() {
+		r.Body = io.NopCloser(strings.NewReader(string(body)))
+		if rt.proxyTo(rt.primary, w, r, body) {
+			return
+		}
+	}
+	rt.unavailable.Add(1)
+	http.Error(w, "no backend can satisfy this read", http.StatusServiceUnavailable)
+}
+
+// proxyTo forwards the request to b. It returns false only when the
+// transport failed before any response byte reached the client, i.e.
+// when retrying another backend is still safe.
+func (rt *Router) proxyTo(b *backend, w http.ResponseWriter, r *http.Request, bufferedBody []byte) bool {
+	b.requests.Add(1)
+	failed := false
+	pw := &proxyWriter{ResponseWriter: w}
+	proxy := *b.proxy // shallow copy so ErrorHandler is per-request
+	proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		failed = true
+		b.errors.Add(1)
+		rt.opts.Logf("replication: router: %s: %v", b.name, err)
+	}
+	proxy.ServeHTTP(pw, r)
+	if failed && !pw.wroteHeader {
+		return false // safe to retry elsewhere
+	}
+	if failed {
+		// Headers already went out; the client sees a truncated
+		// response. Nothing to retry.
+		return true
+	}
+	return true
+}
+
+// proxyWriter tracks whether any response byte was committed, which
+// gates retrying a failed proxy attempt on another backend.
+type proxyWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+}
+
+func (p *proxyWriter) WriteHeader(code int) {
+	p.wroteHeader = true
+	p.ResponseWriter.WriteHeader(code)
+}
+
+func (p *proxyWriter) Write(b []byte) (int, error) {
+	p.wroteHeader = true
+	return p.ResponseWriter.Write(b)
+}
+
+// RouterBackendStats is one backend's row in the router's /stats.
+type RouterBackendStats struct {
+	URL        string `json:"url"`
+	Role       string `json:"role"`
+	Healthy    bool   `json:"healthy"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	Lag        uint64 `json:"lag"`
+	Requests   uint64 `json:"requests"`
+	Errors     uint64 `json:"errors"`
+}
+
+// RouterStats is the router's /stats document.
+type RouterStats struct {
+	UptimeSec     int64                `json:"uptime_sec"`
+	RoutedReads   uint64               `json:"routed_reads"`
+	RoutedUpdates uint64               `json:"routed_updates"`
+	Fallthroughs  uint64               `json:"fallthroughs"`
+	Retries       uint64               `json:"retries"`
+	Unavailable   uint64               `json:"unavailable_503s"`
+	Backends      []RouterBackendStats `json:"backends"`
+}
+
+// Stats snapshots the router's counters and backend health. Lag is
+// relative to the highest applied-seq any backend reports (normally the
+// primary's): it converges to 0 on every replica once writes stop.
+func (rt *Router) Stats() RouterStats {
+	s := RouterStats{
+		UptimeSec:     int64(time.Since(rt.start).Seconds()),
+		RoutedReads:   rt.routedReads.Load(),
+		RoutedUpdates: rt.routedUpdates.Load(),
+		Fallthroughs:  rt.fallthroughs.Load(),
+		Retries:       rt.retries.Load(),
+		Unavailable:   rt.unavailable.Load(),
+	}
+	all := append([]*backend{rt.primary}, rt.replicas...)
+	var top uint64
+	for _, b := range all {
+		if v := b.appliedSeq.Load(); v > top {
+			top = v
+		}
+	}
+	for i, b := range all {
+		role := "replica"
+		if i == 0 {
+			role = "primary"
+		}
+		row := RouterBackendStats{
+			URL:        b.name,
+			Role:       role,
+			Healthy:    b.healthy.Load(),
+			AppliedSeq: b.appliedSeq.Load(),
+			Requests:   b.requests.Load(),
+			Errors:     b.errors.Load(),
+		}
+		if top > row.AppliedSeq {
+			row.Lag = top - row.AppliedSeq
+		}
+		s.Backends = append(s.Backends, row)
+	}
+	return s
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rt.Stats())
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	healthyReplicas := 0
+	for _, b := range rt.replicas {
+		if b.healthy.Load() {
+			healthyReplicas++
+		}
+	}
+	if rt.primary.healthy.Load() || healthyReplicas > 0 {
+		fmt.Fprintf(w, "ok: primary_healthy=%v replicas_healthy=%d/%d\n",
+			rt.primary.healthy.Load(), healthyReplicas, len(rt.replicas))
+		return
+	}
+	http.Error(w, "no healthy backends", http.StatusServiceUnavailable)
+}

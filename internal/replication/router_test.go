@@ -1,0 +1,300 @@
+package replication
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeBackend is a scripted /sparql + /stats server: /sparql answers
+// with the backend's name (so tests can see where a query landed) and
+// /stats reports a configurable applied-seq or, when marked down,
+// fails health checks with 500s.
+type fakeBackend struct {
+	name string
+	seq  atomic.Uint64
+	down atomic.Bool
+	ts   *httptest.Server
+}
+
+func newFakeBackend(t *testing.T, name string, seq uint64) *fakeBackend {
+	t.Helper()
+	b := &fakeBackend{name: name}
+	b.seq.Store(seq)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
+		if b.down.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, b.name)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if b.down.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, `{"store":{"applied_seq":%d}}`, b.seq.Load())
+	})
+	b.ts = httptest.NewServer(mux)
+	t.Cleanup(b.ts.Close)
+	return b
+}
+
+// newTestRouter stands up a router over the given backends with a fast
+// health loop, waiting for the first health pass so tests start from a
+// settled view.
+func newTestRouter(t *testing.T, primary *fakeBackend, replicas ...*fakeBackend) *Router {
+	t.Helper()
+	urls := make([]string, len(replicas))
+	for i, b := range replicas {
+		urls[i] = b.ts.URL
+	}
+	rt, err := NewRouter(RouterOptions{
+		Primary:     primary.ts.URL,
+		Replicas:    urls,
+		HealthEvery: 5 * time.Millisecond,
+		FailAfter:   2,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	// Backends start optimistically healthy before the first probe, so
+	// "N healthy" alone doesn't mean the router has seen them. Every
+	// fake backend reports applied-seq >= 1, so a populated AppliedSeq
+	// is the proof the first health pass actually landed.
+	waitHealth(t, rt, func(s RouterStats) bool {
+		for _, b := range s.Backends {
+			if !b.Healthy || b.AppliedSeq == 0 {
+				return false
+			}
+		}
+		return len(s.Backends) == len(replicas)+1
+	})
+	return rt
+}
+
+// routerGet runs one read through the router and returns (body, status).
+func routerGet(t *testing.T, rt *Router, query string, hdr map[string]string) (string, int) {
+	t.Helper()
+	mux := http.NewServeMux()
+	rt.Register(mux)
+	req := httptest.NewRequest(http.MethodGet, "/sparql?query="+url.QueryEscape(query), nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec.Body.String(), rec.Code
+}
+
+// waitHealth blocks until pred holds over the router's stats view.
+func waitHealth(t *testing.T, rt *Router, pred func(RouterStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred(rt.Stats()) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("router never reached expected health state: %+v", rt.Stats())
+}
+
+func healthyCount(s RouterStats) int {
+	n := 0
+	for _, b := range s.Backends {
+		if b.Healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRouterHashStableAcrossEjection: ejecting a replica must divert
+// ONLY the keys it owned (spilling them to ring successors), and
+// readmitting it must restore the exact original mapping — the ring's
+// membership never changes, only health does.
+func TestRouterHashStableAcrossEjection(t *testing.T) {
+	primary := newFakeBackend(t, "primary", 100)
+	r1 := newFakeBackend(t, "r1", 100)
+	r2 := newFakeBackend(t, "r2", 100)
+	r3 := newFakeBackend(t, "r3", 100)
+	rt := newTestRouter(t, primary, r1, r2, r3)
+	waitHealth(t, rt, func(s RouterStats) bool { return healthyCount(s) == 4 })
+
+	queries := make([]string, 60)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("SELECT * WHERE { ?s ?p ?o } LIMIT %d", i+1)
+	}
+	route := func() map[string]string {
+		m := map[string]string{}
+		for _, q := range queries {
+			body, code := routerGet(t, rt, q, nil)
+			if code != http.StatusOK {
+				t.Fatalf("query %q: status %d", q, code)
+			}
+			m[q] = body
+		}
+		return m
+	}
+	before := route()
+	owners := map[string]int{}
+	for _, b := range before {
+		owners[b]++
+	}
+	if len(owners) < 3 {
+		t.Fatalf("60 queries landed on only %d replicas: %v", len(owners), owners)
+	}
+	if owners["primary"] > 0 {
+		t.Fatalf("healthy ring should not fall through to the primary: %v", owners)
+	}
+
+	// Eject r2: its keys must move, everyone else's must not.
+	r2.down.Store(true)
+	waitHealth(t, rt, func(s RouterStats) bool { return healthyCount(s) == 3 })
+	during := route()
+	for q, owner := range before {
+		switch {
+		case owner == "r2" && during[q] == "r2":
+			t.Fatalf("query %q still routed to the ejected replica", q)
+		case owner != "r2" && during[q] != owner:
+			t.Fatalf("query %q moved %s -> %s though its owner stayed healthy", q, owner, during[q])
+		}
+	}
+
+	// Readmit: the mapping must return to exactly the original.
+	r2.down.Store(false)
+	waitHealth(t, rt, func(s RouterStats) bool { return healthyCount(s) == 4 })
+	after := route()
+	for q, owner := range before {
+		if after[q] != owner {
+			t.Fatalf("query %q: owner %s before ejection, %s after readmission", q, owner, after[q])
+		}
+	}
+}
+
+// TestRouterWatermarkFallthrough: a read demanding a watermark no
+// replica has reached must fall through to the primary; once a replica
+// catches up it takes the read back.
+func TestRouterWatermarkFallthrough(t *testing.T) {
+	primary := newFakeBackend(t, "primary", 50)
+	r1 := newFakeBackend(t, "r1", 10)
+	rt := newTestRouter(t, primary, r1)
+	waitHealth(t, rt, func(s RouterStats) bool { return healthyCount(s) == 2 })
+
+	const q = "SELECT * WHERE { ?s ?p ?o }"
+	if body, code := routerGet(t, rt, q, map[string]string{HeaderMinVersion: "5"}); code != 200 || body != "r1" {
+		t.Fatalf("satisfied watermark: got %q/%d, want r1/200", body, code)
+	}
+	if body, code := routerGet(t, rt, q, map[string]string{HeaderMinVersion: "30"}); code != 200 || body != "primary" {
+		t.Fatalf("unsatisfied watermark: got %q/%d, want primary/200", body, code)
+	}
+	if rt.Stats().Fallthroughs == 0 {
+		t.Fatal("fall-through counter never moved")
+	}
+
+	// Replica catches up; the health loop notices; reads return to it.
+	r1.seq.Store(60)
+	waitHealth(t, rt, func(s RouterStats) bool {
+		for _, b := range s.Backends {
+			if b.URL == r1.ts.URL && b.AppliedSeq >= 60 {
+				return true
+			}
+		}
+		return false
+	})
+	if body, code := routerGet(t, rt, q, map[string]string{HeaderMinVersion: "30"}); code != 200 || body != "r1" {
+		t.Fatalf("caught-up watermark: got %q/%d, want r1/200", body, code)
+	}
+
+	// A garbage watermark is the client's bug: 400, not a stale read.
+	if _, code := routerGet(t, rt, q, map[string]string{HeaderMinVersion: "not-a-number"}); code != http.StatusBadRequest {
+		t.Fatalf("bad watermark header: status %d, want 400", code)
+	}
+}
+
+// TestRouterAllBackendsLagging503: when every replica is behind the
+// demanded watermark AND the primary is down, the router must refuse
+// with 503 — serving a stale read would silently break read-your-writes.
+func TestRouterAllBackendsLagging503(t *testing.T) {
+	primary := newFakeBackend(t, "primary", 50)
+	r1 := newFakeBackend(t, "r1", 10)
+	rt := newTestRouter(t, primary, r1)
+	waitHealth(t, rt, func(s RouterStats) bool { return healthyCount(s) == 2 })
+
+	primary.down.Store(true)
+	waitHealth(t, rt, func(s RouterStats) bool { return healthyCount(s) == 1 })
+	if _, code := routerGet(t, rt, "SELECT * WHERE { ?s ?p ?o }",
+		map[string]string{HeaderMinVersion: "30"}); code != http.StatusServiceUnavailable {
+		t.Fatalf("all-lagging read: status %d, want 503", code)
+	}
+	if rt.Stats().Unavailable == 0 {
+		t.Fatal("503 counter never moved")
+	}
+}
+
+// TestRouterUpdatesGoToPrimary: updates (and unparseable statements)
+// never touch the ring.
+func TestRouterUpdatesGoToPrimary(t *testing.T) {
+	primary := newFakeBackend(t, "primary", 1)
+	r1 := newFakeBackend(t, "r1", 1)
+	rt := newTestRouter(t, primary, r1)
+	waitHealth(t, rt, func(s RouterStats) bool { return healthyCount(s) == 2 })
+
+	mux := http.NewServeMux()
+	rt.Register(mux)
+	for _, stmt := range []string{
+		`INSERT DATA { <http://ex/s> <http://ex/p> <http://ex/o> }`,
+		`THIS IS NOT SPARQL AT ALL`,
+	} {
+		req := httptest.NewRequest(http.MethodPost, "/sparql", newFormBody(stmt))
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Body.String() != "primary" {
+			t.Fatalf("statement %q landed on %q, want primary", stmt, rec.Body.String())
+		}
+	}
+	if rt.Stats().RoutedUpdates == 0 {
+		t.Fatal("update counter never moved")
+	}
+}
+
+// TestRouterTenantPinning: the tenant header overrides query-text
+// hashing, so one tenant's whole (distinct-query) workload lands on one
+// replica.
+func TestRouterTenantPinning(t *testing.T) {
+	primary := newFakeBackend(t, "primary", 1)
+	r1 := newFakeBackend(t, "r1", 1)
+	r2 := newFakeBackend(t, "r2", 1)
+	r3 := newFakeBackend(t, "r3", 1)
+	rt := newTestRouter(t, primary, r1, r2, r3)
+	waitHealth(t, rt, func(s RouterStats) bool { return healthyCount(s) == 4 })
+
+	seen := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		q := fmt.Sprintf("SELECT * WHERE { ?s ?p ?o } LIMIT %d", i+1)
+		body, code := routerGet(t, rt, q, map[string]string{HeaderTenant: "acme"})
+		if code != http.StatusOK {
+			t.Fatalf("tenant query: status %d", code)
+		}
+		seen[body] = true
+	}
+	if len(seen) != 1 {
+		t.Fatalf("tenant acme's queries spread over %d replicas: %v", len(seen), seen)
+	}
+}
+
+// newFormBody renders one statement as an update= form body.
+func newFormBody(stmt string) io.Reader {
+	return strings.NewReader("update=" + url.QueryEscape(stmt))
+}

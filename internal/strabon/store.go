@@ -25,16 +25,21 @@ import (
 // Journal receives write-ahead notifications for every mutation, invoked
 // while the store's write lock is held and strictly before the in-memory
 // structures change. An implementation (internal/persist) appends a
-// durable log record and returns nil; a non-nil error vetoes the
-// mutation, which is then reported to the caller as "nothing changed"
-// (Add returns false, AddAll returns 0, ...) and recorded for
-// JournalErr. LogAdd only ever sees triples that are genuinely new
-// (duplicates are filtered first), so replaying the journal rebuilds the
-// dictionary with identical id assignment.
+// durable log record and returns the sequence number it assigned; a
+// non-nil error vetoes the mutation, which is then reported to the
+// caller as "nothing changed" (Add returns false, AddAll returns 0, ...)
+// and recorded for JournalErr. LogAdd only ever sees triples that are
+// genuinely new (duplicates are filtered first), so replaying the
+// journal rebuilds the dictionary with identical id assignment.
+//
+// The returned sequence number becomes the store's applied-seq watermark
+// (AppliedSeq) once the mutation is installed: the watermark moves only
+// AFTER the state change is visible, so a reader that observes
+// AppliedSeq() >= N is guaranteed to see the effects of WAL record N.
 type Journal interface {
-	LogAdd(triples []rdf.Triple) error
-	LogRemove(t rdf.Triple) error
-	LogCompact() error
+	LogAdd(triples []rdf.Triple) (uint64, error)
+	LogRemove(t rdf.Triple) (uint64, error)
+	LogCompact() (uint64, error)
 }
 
 // Store is the triple store. Reads are safe concurrently; writes take the
@@ -66,6 +71,13 @@ type Store struct {
 	// version counts successful mutations; readers (e.g. the endpoint's
 	// result cache) use it to detect staleness cheaply.
 	version uint64
+	// appliedSeq is the WAL sequence number of the newest durable record
+	// whose mutation is visible in the store — the replication watermark.
+	// It moves after the mutation applies (never before), is seeded by
+	// persist recovery, and stays 0 on purely in-memory stores. Unlike
+	// version it is comparable ACROSS processes: a primary and a replica
+	// at the same appliedSeq hold identical logical contents.
+	appliedSeq uint64
 	// snap caches the immutable read view handed to the vectorized
 	// executor; it is rebuilt lazily when version moves past it.
 	snap *Snapshot
@@ -201,15 +213,20 @@ func (st *Store) addLocked(t rdf.Triple) bool {
 	if !isNew {
 		return false
 	}
+	var seq uint64
 	if st.journal != nil {
 		st.logScratch[0] = t
-		if err := st.journal.LogAdd(st.logScratch[:]); err != nil {
+		var err error
+		if seq, err = st.journal.LogAdd(st.logScratch[:]); err != nil {
 			st.journalErr = err
 			st.journalVetoes++
 			return false
 		}
 	}
 	st.applyAdd(t, key)
+	if seq > st.appliedSeq {
+		st.appliedSeq = seq
+	}
 	return true
 }
 
@@ -297,13 +314,17 @@ func (st *Store) AddAll(triples []rdf.Triple) int {
 	if len(fresh) == 0 {
 		return 0
 	}
-	if err := st.journal.LogAdd(fresh); err != nil {
+	seq, err := st.journal.LogAdd(fresh)
+	if err != nil {
 		st.journalErr = err
 		st.journalVetoes++
 		return 0
 	}
 	for i, t := range fresh {
 		st.applyAdd(t, keys[i])
+	}
+	if seq > st.appliedSeq {
+		st.appliedSeq = seq
 	}
 	return len(fresh)
 }
@@ -360,8 +381,10 @@ func (st *Store) Remove(t rdf.Triple) bool {
 	if !ok {
 		return false
 	}
+	var seq uint64
 	if st.journal != nil {
-		if err := st.journal.LogRemove(t); err != nil {
+		var err error
+		if seq, err = st.journal.LogRemove(t); err != nil {
 			st.journalErr = err
 			st.journalVetoes++
 			return false
@@ -374,6 +397,9 @@ func (st *Store) Remove(t rdf.Triple) bool {
 	st.byP[pID] = removePos(st.byP[pID], row)
 	st.byO[oID] = removePos(st.byO[oID], row)
 	st.deleted++
+	if seq > st.appliedSeq {
+		st.appliedSeq = seq
+	}
 	return true
 }
 
@@ -485,6 +511,31 @@ func (st *Store) Version() uint64 {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.version
+}
+
+// AppliedSeq reports the WAL sequence number of the newest record whose
+// mutation is visible in the store — the replication watermark. It is 0
+// on stores without durability. Because it moves only after a mutation
+// is installed, AppliedSeq() >= N guarantees the effects of record N are
+// readable; and because the counter is the PRIMARY's sequence numbering,
+// it is directly comparable between a primary and its replicas (unlike
+// Version, whose increments depend on local history — e.g. a replayed
+// Compact that is a no-op on an already-compacted snapshot restore).
+func (st *Store) AppliedSeq() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.appliedSeq
+}
+
+// SetAppliedSeq advances the applied-seq watermark; persist recovery and
+// replica replay call it after installing state up to seq. Regressions
+// are ignored so the watermark stays monotone.
+func (st *Store) SetAppliedSeq(seq uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if seq > st.appliedSeq {
+		st.appliedSeq = seq
+	}
 }
 
 // Geometry returns the cached WGS84 geometry for a spatial literal id.
@@ -622,8 +673,10 @@ func (st *Store) Compact() int {
 	if st.deleted == 0 {
 		return 0
 	}
+	var seq uint64
 	if st.journal != nil {
-		if err := st.journal.LogCompact(); err != nil {
+		var err error
+		if seq, err = st.journal.LogCompact(); err != nil {
 			st.journalErr = err
 			st.journalVetoes++
 			return 0
@@ -662,6 +715,9 @@ func (st *Store) Compact() int {
 	st.present = present
 	st.deleted = 0
 	st.pruneSpatialLocked()
+	if seq > st.appliedSeq {
+		st.appliedSeq = seq
+	}
 	return reclaimed
 }
 

@@ -3,15 +3,14 @@ package stsparql
 import (
 	"context"
 	"errors"
-	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
 	"strings"
 	"testing"
 
-	"repro/internal/rdf"
 	"repro/internal/strabon"
+	"repro/internal/stsparql/corpus"
 )
 
 // The old-vs-new equivalence suite: random BGP + FILTER + OPTIONAL +
@@ -19,135 +18,16 @@ import (
 // bindings from the legacy binding-at-a-time evaluator and the vectorized
 // id-space executor, in every ablation mode.
 
-const equivNS = "http://ex/"
-
+// equivStore seeds a store with the shared corpus dataset; the query
+// generator lives in internal/stsparql/corpus so the replication
+// equivalence suite exercises the exact same workload.
 func equivStore(rng *rand.Rand) *strabon.Store {
 	st := strabon.NewStore()
-	var triples []rdf.Triple
-	subjects := make([]rdf.Term, 20)
-	for i := range subjects {
-		subjects[i] = rdf.IRI(fmt.Sprintf("%ss%d", equivNS, i))
-	}
-	classes := []rdf.Term{
-		rdf.IRI(equivNS + "Hotspot"),
-		rdf.IRI(equivNS + "Town"),
-		rdf.IRI(equivNS + "Forest"),
-	}
-	preds := make([]rdf.Term, 4)
-	for i := range preds {
-		preds[i] = rdf.IRI(fmt.Sprintf("%sp%d", equivNS, i))
-	}
-	for i, s := range subjects {
-		triples = append(triples, rdf.NewTriple(s, rdf.IRI(rdf.RDFType), classes[i%len(classes)]))
-		// Numeric property on most subjects.
-		if rng.Intn(4) != 0 {
-			triples = append(triples, rdf.NewTriple(s, preds[0], rdf.IntegerLiteral(int64(rng.Intn(10)))))
-		}
-		// String property.
-		if rng.Intn(3) != 0 {
-			triples = append(triples, rdf.NewTriple(s, preds[1], rdf.Literal(fmt.Sprintf("name-%d", rng.Intn(6)))))
-		}
-		// Geometry: points scattered over a small window.
-		if rng.Intn(3) != 0 {
-			x := 23.0 + rng.Float64()*2
-			y := 37.0 + rng.Float64()*2
-			wkt := fmt.Sprintf("POINT (%.4f %.4f)", x, y)
-			triples = append(triples, rdf.NewTriple(s, rdf.IRI(equivNS+"geom"),
-				rdf.TypedLiteral(wkt, "http://strdf.di.uoa.gr/ontology#WKT")))
-		}
-		// Cross-links between subjects.
-		for k := 0; k < rng.Intn(3); k++ {
-			triples = append(triples, rdf.NewTriple(s, preds[2], subjects[rng.Intn(len(subjects))]))
-		}
-		// Second numeric property, sparse.
-		if rng.Intn(5) == 0 {
-			triples = append(triples, rdf.NewTriple(s, preds[3], rdf.DoubleLiteral(rng.Float64()*100)))
-		}
-	}
-	st.AddAll(triples)
+	st.AddAll(corpus.Triples(rng))
 	return st
 }
 
-// randPatTerm yields a pattern position: a variable or a constant.
-func randPatTerm(rng *rand.Rand, vars []string, consts []string) string {
-	if rng.Intn(2) == 0 {
-		return "?" + vars[rng.Intn(len(vars))]
-	}
-	return consts[rng.Intn(len(consts))]
-}
-
-func randQuery(rng *rand.Rand) string {
-	vars := []string{"a", "b", "c", "d"}
-	subjConsts := []string{"<http://ex/s1>", "<http://ex/s5>", "<http://ex/s12>"}
-	predConsts := []string{"a", "<http://ex/p0>", "<http://ex/p1>", "<http://ex/p2>", "<http://ex/geom>"}
-	objConsts := []string{
-		"<http://ex/Hotspot>", "<http://ex/Town>", "<http://ex/s3>",
-		`"name-2"`, "4",
-	}
-	pattern := func() string {
-		s := randPatTerm(rng, vars, subjConsts)
-		p := predConsts[rng.Intn(len(predConsts))]
-		if rng.Intn(5) == 0 {
-			p = "?" + vars[rng.Intn(len(vars))]
-		}
-		o := randPatTerm(rng, vars, objConsts)
-		return fmt.Sprintf("%s %s %s .", s, p, o)
-	}
-	var body []string
-	nPats := 1 + rng.Intn(3)
-	for i := 0; i < nPats; i++ {
-		body = append(body, pattern())
-	}
-	// FILTER variants.
-	switch rng.Intn(5) {
-	case 0:
-		body = append(body, fmt.Sprintf("FILTER(?%s > %d)", vars[rng.Intn(2)], rng.Intn(8)))
-	case 1:
-		body = append(body, fmt.Sprintf("FILTER(REGEX(?%s, \"name\"))", vars[rng.Intn(2)]))
-	case 2:
-		body = append(body, fmt.Sprintf(
-			`FILTER(strdf:intersects(?%s, "POLYGON ((23 37, 24.5 37, 24.5 38.5, 23 38.5, 23 37))"^^strdf:WKT))`,
-			vars[rng.Intn(2)]))
-	case 3:
-		body = append(body, fmt.Sprintf(
-			`FILTER(strdf:distance(?%s, "POINT (23.5 37.5)"^^strdf:WKT) < %d)`,
-			vars[rng.Intn(2)], 20000+rng.Intn(100000)))
-	}
-	// BIND sometimes.
-	if rng.Intn(4) == 0 {
-		body = append(body, fmt.Sprintf("BIND(?%s + 1 AS ?%s)", vars[rng.Intn(2)], vars[3]))
-	}
-	// OPTIONAL sometimes.
-	if rng.Intn(3) == 0 {
-		body = append(body, fmt.Sprintf("OPTIONAL { %s }", pattern()))
-	}
-	// UNION sometimes.
-	if rng.Intn(3) == 0 {
-		body = append(body, fmt.Sprintf("{ %s } UNION { %s }", pattern(), pattern()))
-	}
-	sel := "*"
-	if rng.Intn(2) == 0 {
-		n := 1 + rng.Intn(3)
-		var ps []string
-		for i := 0; i < n; i++ {
-			ps = append(ps, "?"+vars[i])
-		}
-		sel = strings.Join(ps, " ")
-	}
-	distinct := ""
-	if rng.Intn(3) == 0 {
-		distinct = "DISTINCT "
-	}
-	suffix := ""
-	if rng.Intn(3) == 0 {
-		suffix = fmt.Sprintf(" ORDER BY ?%s", vars[rng.Intn(2)])
-		if rng.Intn(2) == 0 {
-			suffix += fmt.Sprintf(" LIMIT %d", 1+rng.Intn(10))
-		}
-	}
-	return fmt.Sprintf(`PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>
-		SELECT %s%s WHERE { %s }%s`, distinct, sel, strings.Join(body, "\n"), suffix)
-}
+func randQuery(rng *rand.Rand) string { return corpus.RandQuery(rng) }
 
 // orderedBindings renders bindings as canonical lines in RESULT ORDER
 // (no sorting): the serial-vs-parallel suite demands bit-identical
@@ -195,7 +75,7 @@ func canonBindings(res *Result) []string {
 }
 
 func TestExecutorEquivalenceRandomized(t *testing.T) {
-	rng := rand.New(rand.NewSource(20260729))
+	rng := rand.New(rand.NewSource(corpus.Seed))
 	st := equivStore(rng)
 	modes := []struct {
 		name       string
@@ -268,7 +148,7 @@ func forceTinyMorsels(t *testing.T) {
 // operator actually fans out.
 func TestSerialParallelEquivalence(t *testing.T) {
 	forceTinyMorsels(t)
-	rng := rand.New(rand.NewSource(20260729))
+	rng := rand.New(rand.NewSource(corpus.Seed))
 	st := equivStore(rng)
 	queries := make([]string, 400)
 	for i := range queries {
