@@ -12,10 +12,12 @@ GO ?= go
 # (BenchmarkParallelQueryAblation: 1/2/4/GOMAXPROCS workers) added in
 # PR 5, and the replication benchmarks (internal/replication: WAL
 # tail-apply throughput and cold-replica bootstrap time) added in PR 6.
+# PR 7 widens the persist set: snapshot write/load/scan-cold now run per
+# format (raw vs packed) and report disk-bytes / resident-bytes metrics.
 BENCH_TIER1 = BenchmarkFigure1Pipeline|BenchmarkFigure3CatalogueSearch|BenchmarkFlagshipQuery|BenchmarkOptimizerOrdering|BenchmarkAblationExecutor|BenchmarkAblationSpatialIndex|BenchmarkParallelQueryAblation
 BENCH_SCIQL = BenchmarkSelectFilter|BenchmarkGroupByAggregate|BenchmarkArrayUpdateClassify|BenchmarkAlignedArrayJoin|BenchmarkDimensionPushdownCrop|BenchmarkAblationSciQLExecutor
 BENCH_ARRAY = BenchmarkConvolve2D|BenchmarkResampleBilinear|BenchmarkTileAvg|BenchmarkConnectedComponents|BenchmarkSummarize|BenchmarkAblationParallelKernels
-BENCH_PERSIST = BenchmarkWALAppend|BenchmarkWALAppendBatch|BenchmarkWALAppendSynced|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad|BenchmarkNTriplesLoad|BenchmarkRecoveryReplay
+BENCH_PERSIST = BenchmarkWALAppend|BenchmarkWALAppendBatch|BenchmarkWALAppendSynced|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad|BenchmarkSnapshotScanCold|BenchmarkNTriplesLoad|BenchmarkRecoveryReplay
 BENCH_REPL = BenchmarkTailApply|BenchmarkReplicaBootstrap
 
 .PHONY: all build test race vet bench bench-json equivalence crash-test replica-test clean
@@ -58,8 +60,8 @@ bench:
 # bench-json converts the last bench run (or a fresh one) into the
 # machine-readable perf record.
 bench-json: bench
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR6.json
-	@echo wrote BENCH_PR6.json
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR7.json
+	@echo wrote BENCH_PR7.json
 
 # equivalence runs the executor-equivalence gates in both serial and
 # parallel-morsel modes (the CI gate for the morsel executor).

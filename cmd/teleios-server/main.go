@@ -6,6 +6,7 @@
 //
 //	teleios-server [-addr :8080] [-data-dir DIR] [-store DIR] [-nt FILE]
 //	               [-linked] [-wal-sync always|none|DUR]
+//	               [-snapshot-format packed|raw]
 //	               [-checkpoint-every DUR] [-checkpoint-bytes N]
 //	               [-cache N] [-max-concurrency N] [-timeout DUR]
 //	               [-max-query-parallelism N]
@@ -28,6 +29,12 @@
 // -wal-sync picks the fsync policy (always = every record, a duration =
 // periodic, none = leave it to the OS); -checkpoint-every /
 // -checkpoint-bytes bound how much WAL a restart replays.
+// -snapshot-format picks what checkpoints write: packed (default) is
+// the compressed, mmap-able columnar format that recovery maps and
+// serves in place — restart cost is verification, not materialisation —
+// while raw is the uncompressed PR 4 dump kept as an escape hatch.
+// Recovery reads either format regardless of the flag, so switching it
+// migrates the data directory at the next checkpoint.
 //
 // The dataset can be seeded from any combination of a legacy store
 // directory (-store, as written by Store.Save), an N-Triples file (-nt)
@@ -83,6 +90,7 @@ type serverConfig struct {
 	addr            string
 	dataDir         string
 	walSync         string
+	snapshotFormat  string
 	checkpointEvery time.Duration
 	checkpointBytes int64
 	storeDir        string
@@ -105,6 +113,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable data directory (WAL + snapshots; recovered on boot)")
 	flag.StringVar(&cfg.walSync, "wal-sync", "always", "WAL fsync policy: always, none, or an interval like 100ms")
+	flag.StringVar(&cfg.snapshotFormat, "snapshot-format", "packed", "checkpoint snapshot format: packed (compressed, mmap-ed, served in place) or raw (PR 4 columnar dump); either format is recovered on boot")
 	flag.DurationVar(&cfg.checkpointEvery, "checkpoint-every", 5*time.Minute, "background checkpoint interval (0 disables the timer)")
 	flag.Int64Var(&cfg.checkpointBytes, "checkpoint-bytes", 64<<20, "background checkpoint WAL-size threshold in bytes (negative disables)")
 	flag.StringVar(&cfg.storeDir, "store", "", "load a legacy saved store directory (see -save; deprecated in favor of -data-dir)")
@@ -189,6 +198,7 @@ func run(cfg serverConfig) error {
 			SyncEvery:       every,
 			CheckpointEvery: cfg.checkpointEvery,
 			CheckpointBytes: cfg.checkpointBytes,
+			SnapshotFormat:  cfg.snapshotFormat,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "teleios-server: "+format+"\n", args...)
 			},
@@ -366,6 +376,7 @@ func runReplica(cfg serverConfig) error {
 		HasSyncMode:     true,
 		CheckpointEvery: cfg.checkpointEvery,
 		CheckpointBytes: cfg.checkpointBytes,
+		SnapshotFormat:  cfg.snapshotFormat,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "teleios-server: "+format+"\n", args...)
 		},
@@ -499,6 +510,10 @@ func durabilityStats(m *persist.Manager) endpoint.DurabilityStats {
 		LastCheckpointMs:  ps.LastCheckpointTook.Milliseconds(),
 		RecoveryMs:        ps.RecoveryTook.Milliseconds(),
 		ReplayedRecords:   ps.ReplayedRecords,
+		SnapshotFormat:    ps.SnapshotFormat,
+		SnapshotBytes:     ps.SnapshotBytes,
+		StoreMode:         ps.StoreMode,
+		ResidentBytes:     ps.ResidentBytes,
 	}
 	if !ps.LastCheckpointAt.IsZero() {
 		ds.LastCheckpointUnixMs = ps.LastCheckpointAt.UnixMilli()

@@ -1,0 +1,162 @@
+package colpack
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// The term dictionary is stored front-coded in id order: terms are
+// canonically serialised (kind byte + uvarint-length-prefixed value,
+// datatype and lang) and grouped into blocks of DictBlockSize. The
+// first term of a block is stored whole; each subsequent term stores
+// only the byte length it shares with its predecessor's canonical form
+// plus the differing suffix — RDF terms in one dataset share long IRI
+// prefixes, which is where most of the dictionary's compression comes
+// from:
+//
+//	block = uvarint len0, len0 bytes,
+//	        { uvarint shared, uvarint suffixLen, suffix bytes }…
+//
+// A separate U64Col of block byte offsets (nBlocks+1 entries) makes
+// id→term a single block decode, and a sorted permutation column
+// (ids ordered by CompareTerms) makes term→id a binary search.
+
+// AppendTermCanonical appends t's canonical serialisation to dst.
+func AppendTermCanonical(dst []byte, t rdf.Term) []byte {
+	dst = append(dst, byte(t.Kind))
+	dst = binary.AppendUvarint(dst, uint64(len(t.Value)))
+	dst = append(dst, t.Value...)
+	dst = binary.AppendUvarint(dst, uint64(len(t.Datatype)))
+	dst = append(dst, t.Datatype...)
+	dst = binary.AppendUvarint(dst, uint64(len(t.Lang)))
+	dst = append(dst, t.Lang...)
+	return dst
+}
+
+// parseTermCanonical decodes one canonical term.
+func parseTermCanonical(p []byte) (rdf.Term, error) {
+	if len(p) < 1 {
+		return rdf.Term{}, fmt.Errorf("colpack: dict: empty term encoding")
+	}
+	t := rdf.Term{Kind: rdf.TermKind(p[0])}
+	p = p[1:]
+	next := func() (string, error) {
+		n, k := binary.Uvarint(p)
+		if k <= 0 || n > uint64(len(p)-k) {
+			return "", fmt.Errorf("colpack: dict: corrupt term field length")
+		}
+		s := string(p[k : k+int(n)])
+		p = p[k+int(n):]
+		return s, nil
+	}
+	var err error
+	if t.Value, err = next(); err != nil {
+		return t, err
+	}
+	if t.Datatype, err = next(); err != nil {
+		return t, err
+	}
+	t.Lang, err = next()
+	return t, err
+}
+
+// CompareTerms is the total order the sorted permutation column uses:
+// kind, then value, datatype, lang. Any total order works as long as
+// writer and reader agree; this one avoids materialising canonical
+// bytes during binary search.
+func CompareTerms(a, b rdf.Term) int {
+	switch {
+	case a.Kind != b.Kind:
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	case a.Value != b.Value:
+		if a.Value < b.Value {
+			return -1
+		}
+		return 1
+	case a.Datatype != b.Datatype:
+		if a.Datatype < b.Datatype {
+			return -1
+		}
+		return 1
+	case a.Lang != b.Lang:
+		if a.Lang < b.Lang {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// AppendDictBlocks front-codes terms (id i+1 = terms[i]) into dst and
+// returns the grown dst plus the block start offsets (len = nBlocks+1,
+// relative to the start of the appended region).
+func AppendDictBlocks(dst []byte, terms []rdf.Term) ([]byte, []uint64) {
+	base := len(dst)
+	nBlocks := (len(terms) + DictBlockSize - 1) / DictBlockSize
+	offs := make([]uint64, 0, nBlocks+1)
+	var prev, cur []byte
+	for i, t := range terms {
+		cur = AppendTermCanonical(cur[:0], t)
+		if i%DictBlockSize == 0 {
+			offs = append(offs, uint64(len(dst)-base))
+			dst = binary.AppendUvarint(dst, uint64(len(cur)))
+			dst = append(dst, cur...)
+		} else {
+			shared := 0
+			for shared < len(prev) && shared < len(cur) && prev[shared] == cur[shared] {
+				shared++
+			}
+			dst = binary.AppendUvarint(dst, uint64(shared))
+			dst = binary.AppendUvarint(dst, uint64(len(cur)-shared))
+			dst = append(dst, cur[shared:]...)
+		}
+		prev, cur = cur, prev
+	}
+	offs = append(offs, uint64(len(dst)-base))
+	return dst, offs
+}
+
+// DecodeDictBlock decodes the count terms of one front-coded block
+// (data = that block's byte range) into out, grown as needed.
+func DecodeDictBlock(data []byte, count int, out []rdf.Term) ([]rdf.Term, error) {
+	if cap(out) < count {
+		out = make([]rdf.Term, 0, count)
+	}
+	out = out[:0]
+	var canon []byte
+	for i := 0; i < count; i++ {
+		if i == 0 {
+			n, k := binary.Uvarint(data)
+			if k <= 0 || n > uint64(len(data)-k) {
+				return nil, fmt.Errorf("colpack: dict: corrupt block head length")
+			}
+			canon = append(canon[:0], data[k:k+int(n)]...)
+			data = data[k+int(n):]
+		} else {
+			shared, k1 := binary.Uvarint(data)
+			if k1 <= 0 {
+				return nil, fmt.Errorf("colpack: dict: corrupt shared-prefix length")
+			}
+			suffix, k2 := binary.Uvarint(data[k1:])
+			if k2 <= 0 || suffix > uint64(len(data)-k1-k2) {
+				return nil, fmt.Errorf("colpack: dict: corrupt suffix length")
+			}
+			if shared > uint64(len(canon)) {
+				return nil, fmt.Errorf("colpack: dict: shared prefix %d exceeds predecessor length %d", shared, len(canon))
+			}
+			canon = append(canon[:shared], data[k1+k2:k1+k2+int(suffix)]...)
+			data = data[k1+k2+int(suffix):]
+		}
+		t, err := parseTermCanonical(canon)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package colpack
+
+import "os"
+
+// mapFile on platforms without mmap falls back to reading the file
+// into memory; the format and every reader API behave identically,
+// only the larger-than-RAM property is lost.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

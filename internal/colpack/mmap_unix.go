@@ -1,0 +1,32 @@
+//go:build unix
+
+package colpack
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns the bytes plus a release
+// function. The mapping is shared: the OS page cache is the buffer
+// pool, and pages are faulted in only as blocks are decoded.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := int(fi.Size())
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

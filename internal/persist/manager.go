@@ -77,6 +77,11 @@ type Options struct {
 	// KeepSnapshots is how many snapshot generations survive a
 	// checkpoint (default 2: the new one plus one fallback).
 	KeepSnapshots int
+	// SnapshotFormat selects what checkpoints write: FormatPacked
+	// (default) for the compressed, mmap-able columnar format that
+	// recovery serves in place, or FormatRaw for the PR 4 raw dump.
+	// Recovery reads either format regardless of this setting.
+	SnapshotFormat string
 	// NoCheckpointOnClose skips the final checkpoint in Close — restart
 	// then replays the WAL instead (tests use this to exercise replay).
 	NoCheckpointOnClose bool
@@ -103,6 +108,9 @@ func (o *Options) withDefaults() Options {
 	if opts.KeepSnapshots <= 0 {
 		opts.KeepSnapshots = 2
 	}
+	if opts.SnapshotFormat == "" {
+		opts.SnapshotFormat = FormatPacked
+	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
@@ -122,6 +130,12 @@ type Stats struct {
 	RecoveryTook       time.Duration
 	ReplayedRecords    uint64 // WAL records applied during recovery
 	JournalErr         error  // first append failure; writes are being vetoed
+
+	// Persistence-format telemetry (the /stats persistence block).
+	SnapshotFormat string // format checkpoints write (packed or raw)
+	SnapshotBytes  int64  // on-disk size of the newest snapshot (0: none)
+	StoreMode      string // "mapped" (serving in place) or "heap"
+	ResidentBytes  int64  // estimated heap bytes of the store's primary state
 }
 
 // Manager owns a data directory's WAL and snapshots. It implements
@@ -169,6 +183,10 @@ func Open(o Options) (*Manager, *strabon.Store, error) {
 		return nil, nil, errors.New("persist: Options.Dir is required")
 	}
 	opts := o.withDefaults()
+	if opts.SnapshotFormat != FormatPacked && opts.SnapshotFormat != FormatRaw {
+		return nil, nil, fmt.Errorf("persist: unknown snapshot format %q (want %q or %q)",
+			opts.SnapshotFormat, FormatPacked, FormatRaw)
+	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, nil, err
 	}
@@ -445,7 +463,7 @@ func (m *Manager) Checkpoint() error {
 	if m.hasCkpt.Load() && seq == m.ckptSeq.Load() {
 		return nil // nothing new since the last checkpoint
 	}
-	if _, err := writeSnapshot(m.opts.Dir, sn, seq); err != nil {
+	if _, err := writeSnapshot(m.opts.Dir, sn, seq, m.opts.SnapshotFormat); err != nil {
 		return err
 	}
 	m.ckptSeq.Store(seq)
@@ -569,6 +587,9 @@ func (m *Manager) Stats() Stats {
 		RecoveryTook:       m.recoveryTook,
 		ReplayedRecords:    m.replayed,
 		JournalErr:         m.store.JournalErr(),
+		SnapshotFormat:     m.opts.SnapshotFormat,
+		StoreMode:          m.store.StorageMode(),
+		ResidentBytes:      m.store.ResidentEstimate(),
 	}
 	if ms := m.ckptAt.Load(); ms != 0 {
 		s.LastCheckpointAt = time.UnixMilli(ms)
@@ -578,6 +599,11 @@ func (m *Manager) Stats() Stats {
 	}
 	if snaps, err := listSnapshots(m.opts.Dir); err == nil {
 		s.Snapshots = len(snaps)
+		if len(snaps) > 0 {
+			if fi, err := os.Stat(snaps[0]); err == nil {
+				s.SnapshotBytes = fi.Size()
+			}
+		}
 	}
 	return s
 }

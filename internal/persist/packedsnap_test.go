@@ -1,0 +1,264 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/colpack"
+)
+
+// Packed-snapshot corruption table and format-migration coverage.
+// The PR 4 table (persist_test.go) already runs against packed files —
+// it is the default format — but its corruptions hit arbitrary bytes.
+// These cases target the packed format's internal structures: column
+// block payloads, posting containers, the TOC, the footer trailer.
+// Every one of them must make colpack.Open reject the file so recovery
+// falls back to the previous snapshot generation with zero loss (the
+// WAL deliberately retains everything past the OLDER generation).
+
+// packedSection locates section id inside the packed snapshot at path
+// by parsing the footer the same way the reader does, returning the
+// section's byte offset and length within the file.
+func packedSection(t *testing.T, path string, id uint32) (off, length uint64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:8]) != colpack.Magic || string(data[len(data)-8:]) != colpack.Magic {
+		t.Fatalf("%s is not a packed snapshot", path)
+	}
+	footerLen := int(binary.LittleEndian.Uint32(data[len(data)-16:]))
+	footer := data[len(data)-16-footerLen : len(data)-16]
+	nSecs := int(binary.LittleEndian.Uint32(footer))
+	for i := 0; i < nSecs; i++ {
+		e := footer[4+i*32:]
+		if binary.LittleEndian.Uint32(e) == id {
+			return binary.LittleEndian.Uint64(e[8:]), binary.LittleEndian.Uint64(e[16:])
+		}
+	}
+	t.Fatalf("section %d not found in %s", id, path)
+	return 0, 0
+}
+
+// flipByteAt XORs one byte of the file at path.
+func flipByteAt(t *testing.T, path string, off uint64, mask byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off >= uint64(len(data)) {
+		t.Fatalf("flip offset %d beyond %d-byte file", off, len(data))
+	}
+	data[off] ^= mask
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newestSnap returns the highest-seq snapshot in dir, asserting it is
+// packed (these corruptions only make sense against the packed layout).
+func newestSnap(t *testing.T, dir string) string {
+	t.Helper()
+	snaps, err := listSnapshots(dir)
+	if err != nil || len(snaps) < 2 {
+		t.Fatalf("want >=2 snapshot generations, have %d (err=%v)", len(snaps), err)
+	}
+	format, err := sniffSnapshotFormat(snaps[0])
+	if err != nil || format != FormatPacked {
+		t.Fatalf("newest snapshot format=%q err=%v, want packed", format, err)
+	}
+	return snaps[0]
+}
+
+func TestPackedCorruptionTable(t *testing.T) {
+	const secColS, secPostS, secDict = 1, 10, 13
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, snap string)
+	}{
+		{
+			// Zone-map / bit-packed payload damage: the section CRC
+			// catches it even though no block is ever decoded at Open.
+			name: "flipped byte in a column block payload",
+			corrupt: func(t *testing.T, snap string) {
+				off, length := packedSection(t, snap, secColS)
+				flipByteAt(t, snap, off+length/2, 0x40)
+			},
+		},
+		{
+			// The column's block index (offset/min/max/width) lives at
+			// the front of the section; widening a block's bit width
+			// must not survive verification.
+			name: "corrupted column block descriptor",
+			corrupt: func(t *testing.T, snap string) {
+				off, _ := packedSection(t, snap, secColS)
+				flipByteAt(t, snap, off+8, 0xff)
+			},
+		},
+		{
+			// A posting container header (key + cardinality) steers the
+			// roaring decoder; garbage there must be rejected before any
+			// MatchRows can consume it.
+			name: "bad posting container header",
+			corrupt: func(t *testing.T, snap string) {
+				off, length := packedSection(t, snap, secPostS)
+				if length == 0 {
+					t.Skip("empty posting section")
+				}
+				flipByteAt(t, snap, off, 0x01)
+			},
+		},
+		{
+			name: "flipped byte in the front-coded dictionary",
+			corrupt: func(t *testing.T, snap string) {
+				off, length := packedSection(t, snap, secDict)
+				flipByteAt(t, snap, off+length-1, 0x80)
+			},
+		},
+		{
+			// TOC damage: a section CRC entry no longer matches the
+			// footer CRC, so the footer itself is rejected.
+			name: "flipped section CRC in the TOC",
+			corrupt: func(t *testing.T, snap string) {
+				data, err := os.ReadFile(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				footerLen := int(binary.LittleEndian.Uint32(data[len(data)-16:]))
+				footerStart := len(data) - 16 - footerLen
+				// First TOC entry's crc32 field (id/pad/off/len precede it).
+				flipByteAt(t, snap, uint64(footerStart+4+24), 0x01)
+			},
+		},
+		{
+			name: "truncated TOC",
+			corrupt: func(t *testing.T, snap string) {
+				fi, err := os.Stat(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Chop into the footer body: trailing magic and the
+				// length/CRC trailer are gone too.
+				if err := os.Truncate(snap, fi.Size()-40); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "zeroed footer length",
+			corrupt: func(t *testing.T, snap string) {
+				data, err := os.ReadFile(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				binary.LittleEndian.PutUint32(data[len(data)-16:], 0)
+				if err := os.WriteFile(snap, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			want := buildDataDir(t, dir)
+			snap := newestSnap(t, dir)
+			tc.corrupt(t, snap)
+			// The corrupted newest generation must no longer verify...
+			if _, err := VerifySnapshot(snap); err == nil {
+				t.Fatalf("corrupted snapshot still verifies")
+			}
+			// ...and recovery must fall back to the previous generation
+			// plus the retained WAL tail: nothing lost.
+			m, got := mustOpen(t, dir, nil)
+			defer m.Close()
+			assertSameContent(t, want, got)
+			// The recovered store must keep working: append + reopen.
+			got.Add(tr("post-recovery", "p", "o"))
+			postLen := got.Len()
+			m.Close()
+			m2, again := mustOpen(t, dir, nil)
+			defer m2.Close()
+			if again.Len() != postLen {
+				t.Fatalf("post-recovery write lost: %d != %d", again.Len(), postLen)
+			}
+		})
+	}
+}
+
+// TestSnapshotFormatMigration: a directory written under one format
+// must boot under the other (the reader dispatches on the file magic,
+// not the configured writer format), and the next checkpoint converts
+// the directory to the configured format.
+func TestSnapshotFormatMigration(t *testing.T) {
+	for _, tc := range []struct{ from, to string }{
+		{FormatRaw, FormatPacked},
+		{FormatPacked, FormatRaw},
+	} {
+		t.Run(fmt.Sprintf("%s-to-%s", tc.from, tc.to), func(t *testing.T) {
+			dir := t.TempDir()
+			m, st := mustOpen(t, dir, func(o *Options) { o.SnapshotFormat = tc.from })
+			for i := 0; i < 200; i++ {
+				st.Add(tr(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("o%d", i%7)))
+			}
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+			snaps, _ := listSnapshots(dir)
+			if len(snaps) == 0 {
+				t.Fatal("close wrote no snapshot")
+			}
+			if f, _ := sniffSnapshotFormat(snaps[0]); f != tc.from {
+				t.Fatalf("snapshot format %q, want %q", f, tc.from)
+			}
+
+			// Boot under the other format's configuration. (Check the
+			// storage mode before comparing content: Triples() is a full
+			// materialisation and would flip a mapped store to heap.)
+			m2, st2 := mustOpen(t, dir, func(o *Options) { o.SnapshotFormat = tc.to })
+			wantMode := "heap"
+			if tc.from == FormatPacked {
+				wantMode = "mapped"
+			}
+			if mode := st2.StorageMode(); mode != wantMode {
+				t.Fatalf("recovered store mode %q, want %q", mode, wantMode)
+			}
+			assertSameContent(t, st, st2)
+			if stats := m2.Stats(); stats.SnapshotFormat != tc.to {
+				t.Fatalf("Stats().SnapshotFormat = %q, want configured %q", stats.SnapshotFormat, tc.to)
+			}
+			// A write plus checkpoint converts the directory.
+			st2.Add(tr("migrated", "p", "o"))
+			if err := m2.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			snaps, _ = listSnapshots(dir)
+			if f, _ := sniffSnapshotFormat(snaps[0]); f != tc.to {
+				t.Fatalf("post-migration snapshot format %q, want %q", f, tc.to)
+			}
+			if err := m2.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// And the converted directory boots cleanly again.
+			m3, st3 := mustOpen(t, dir, func(o *Options) { o.SnapshotFormat = tc.to })
+			defer m3.Close()
+			if st3.Len() != st2.Len() {
+				t.Fatalf("converted dir recovered %d triples, want %d", st3.Len(), st2.Len())
+			}
+		})
+	}
+}
+
+// TestUnknownSnapshotFormatRejected: Open must refuse a format name it
+// does not understand rather than silently writing some default.
+func TestUnknownSnapshotFormatRejected(t *testing.T) {
+	_, _, err := Open(Options{Dir: t.TempDir(), SyncMode: SyncNone, SnapshotFormat: "zip"})
+	if err == nil {
+		t.Fatal("Open accepted SnapshotFormat=zip")
+	}
+}

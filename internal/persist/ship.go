@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/colpack"
 )
 
 // WAL shipping: the primitives internal/replication builds primary/
@@ -260,10 +262,20 @@ func HasState(dir string) (bool, error) {
 // where recovery will find it.
 func SnapshotFileName(seq uint64) string { return snapName(seq) }
 
-// VerifySnapshot checks a snapshot file's magic and whole-file CRC
-// without restoring it, returning the WAL sequence it covers. A replica
-// runs this over a freshly-downloaded snapshot before trusting it.
+// VerifySnapshot checks a snapshot file (either format, dispatched on
+// the leading magic) without restoring it into a store, returning the
+// WAL sequence it covers. A replica runs this over a freshly
+// downloaded snapshot before trusting it. Packed snapshots get the
+// full colpack verification (footer, file and section CRCs, block
+// indexes); raw ones the whole-file CRC.
 func VerifySnapshot(path string) (uint64, error) {
+	format, err := sniffSnapshotFormat(path)
+	if err != nil {
+		return 0, err
+	}
+	if format == FormatPacked {
+		return colpack.Verify(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err

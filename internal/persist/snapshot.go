@@ -12,15 +12,33 @@ import (
 	"path/filepath"
 	"sort"
 
+	"repro/internal/colpack"
 	"repro/internal/fsx"
 	"repro/internal/rdf"
 	"repro/internal/strabon"
 )
 
-// Binary columnar snapshot: the fast persistence path that replaces the
-// N-Triples dump. Layout of snap-<seq>.snap (16 hex digits, seq = the
-// last WAL sequence number the snapshot covers), all integers
-// little-endian:
+// Snapshots come in two formats, selected by Options.SnapshotFormat
+// and distinguished on read by the leading 8-byte magic (both formats
+// keep the WAL sequence at byte offset 8, so tooling that sniffs
+// (magic, seq) works on either):
+//
+//   - FormatPacked (default, "TELPACK1"): the compressed, mmap-able
+//     columnar format of internal/colpack. Recovery opens it read-only
+//     via mmap and the store answers queries IN PLACE — no column,
+//     posting-list or dictionary materialisation — so
+//     restart-to-first-query is independent of dataset size and the
+//     on-disk bytes double as the working representation for
+//     larger-than-RAM datasets.
+//   - FormatRaw ("TELSNAP1"): the PR 4 raw columnar dump below, kept
+//     as an escape hatch and for migration.
+//
+// Either format can be recovered regardless of the configured writer
+// format; the next checkpoint then converts the directory.
+//
+// Raw binary columnar snapshot: layout of snap-<seq>.snap (16 hex
+// digits, seq = the last WAL sequence number the snapshot covers), all
+// integers little-endian:
 //
 //	8  bytes  magic "TELSNAP1"
 //	8  bytes  seq
@@ -45,6 +63,12 @@ const (
 	snapPrefix    = "snap-"
 	snapSuffix    = ".snap"
 	colChunkTerms = 4096 // ids buffered per column write/read
+)
+
+// Snapshot format names (Options.SnapshotFormat, -snapshot-format).
+const (
+	FormatPacked = "packed"
+	FormatRaw    = "raw"
 )
 
 func snapName(seq uint64) string {
@@ -160,8 +184,34 @@ func readColumn(r io.Reader, n uint64) ([]uint64, error) {
 }
 
 // writeSnapshot atomically writes sn (covering WAL records through seq)
-// to dir and returns the file path.
-func writeSnapshot(dir string, sn *strabon.Snapshot, seq uint64) (string, error) {
+// to dir in the requested format and returns the file path.
+func writeSnapshot(dir string, sn *strabon.Snapshot, seq uint64, format string) (string, error) {
+	if format == FormatRaw {
+		return writeRawSnapshot(dir, sn, seq)
+	}
+	return writePackedSnapshot(dir, sn, seq)
+}
+
+// writePackedSnapshot serialises sn in the compressed, mmap-able
+// colpack format.
+func writePackedSnapshot(dir string, sn *strabon.Snapshot, seq uint64) (string, error) {
+	path := filepath.Join(dir, snapName(seq))
+	err := fsx.WriteFileAtomic(path, func(w io.Writer) error {
+		return colpack.Write(w, sn.PackData(seq))
+	})
+	if err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func writeRawSnapshot(dir string, sn *strabon.Snapshot, seq uint64) (string, error) {
+	if sn.Mapped() {
+		// Unreachable through Checkpoint (an unmutated mapped store is
+		// never re-serialised, and any mutation materialises it), but
+		// the raw encoder needs the heap dictionary.
+		return "", fmt.Errorf("persist: cannot write a raw snapshot from a mapped view")
+	}
 	path := filepath.Join(dir, snapName(seq))
 	err := fsx.WriteFileAtomic(path, func(w io.Writer) error {
 		cw := &crcWriter{w: w, h: crc32.NewIEEE()}
@@ -213,9 +263,57 @@ func writeSnapshot(dir string, sn *strabon.Snapshot, seq uint64) (string, error)
 	return path, nil
 }
 
-// readSnapshot loads and validates one snapshot file, returning the
-// restored store and the WAL sequence number it covers.
+// sniffSnapshotFormat reads a snapshot file's leading magic and maps
+// it to a format name.
+func sniffSnapshotFormat(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return "", fmt.Errorf("persist: snapshot %s: too short", filepath.Base(path))
+	}
+	switch string(magic[:]) {
+	case colpack.Magic:
+		return FormatPacked, nil
+	case snapMagic:
+		return FormatRaw, nil
+	}
+	return "", fmt.Errorf("persist: snapshot %s: bad magic", filepath.Base(path))
+}
+
+// readSnapshot loads and validates one snapshot file of either format
+// (dispatching on the leading magic), returning the restored store and
+// the WAL sequence number it covers. A packed snapshot restores as a
+// mapped store: the file is verified, mmap-ed and served in place, so
+// this returns in O(verify) regardless of dataset size.
 func readSnapshot(path string) (*strabon.Store, uint64, error) {
+	format, err := sniffSnapshotFormat(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if format == FormatPacked {
+		return readPackedSnapshot(path)
+	}
+	return readRawSnapshot(path)
+}
+
+func readPackedSnapshot(path string) (*strabon.Store, uint64, error) {
+	r, err := colpack.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("persist: snapshot %s: %w", filepath.Base(path), err)
+	}
+	st, err := strabon.RestorePacked(r)
+	if err != nil {
+		r.Close()
+		return nil, 0, fmt.Errorf("persist: snapshot %s: %w", filepath.Base(path), err)
+	}
+	return st, r.Seq(), nil
+}
+
+func readRawSnapshot(path string) (*strabon.Store, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, err

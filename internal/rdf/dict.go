@@ -17,6 +17,9 @@ type Dictionary struct {
 	byTerm  map[Term]uint64
 	byID    []Term // byID[i] holds the term for id i+1
 	spatial map[uint64]struct{}
+	// bytes tracks the string bytes held across byID for
+	// EstimateBytes; maintained by Encode.
+	bytes int64
 }
 
 // NewDictionary returns an empty dictionary. The term map is presized
@@ -44,6 +47,7 @@ func (d *Dictionary) Encode(t Term) uint64 {
 	d.byID = append(d.byID, t)
 	id = uint64(len(d.byID))
 	d.byTerm[t] = id
+	d.bytes += int64(len(t.Value) + len(t.Datatype) + len(t.Lang))
 	if t.IsSpatial() {
 		d.spatial[id] = struct{}{}
 	}
@@ -102,6 +106,26 @@ func (d *Dictionary) Len() int {
 	defer d.mu.RUnlock()
 	return len(d.byID)
 }
+
+// EstimateBytes approximates the heap bytes the dictionary holds: the
+// term string bytes plus fixed per-entry overhead for the two maps'
+// entries and the Term structs themselves (counted twice — byTerm keys
+// and byID values share strings but not headers).
+func (d *Dictionary) EstimateBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	const perEntry = 2*termHeaderBytes + mapEntryOverhead
+	return d.bytes + int64(len(d.byID))*perEntry
+}
+
+const (
+	// termHeaderBytes is the size of a Term value: three string headers
+	// (16 bytes each) plus the kind byte, padded.
+	termHeaderBytes = 56
+	// mapEntryOverhead is a rough per-entry charge for byTerm's bucket
+	// storage (key already counted) and the uint64 value.
+	mapEntryOverhead = 16
+)
 
 // SpatialIDs returns all ids of spatial literals, in unspecified order.
 func (d *Dictionary) SpatialIDs() []uint64 {

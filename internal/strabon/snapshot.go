@@ -29,12 +29,21 @@ type Snapshot struct {
 	spatial *rtree.Tree
 	useIdx  bool
 
+	// pack, when non-nil, makes this a mapped snapshot: every read is
+	// answered from a packed snapshot file (decoding blocks on demand)
+	// and the heap fields above stay nil. See packed.go.
+	pack *packView
+
 	// stats is the planner's statistics view, built lazily once per
 	// snapshot (the first planned query pays the O(n) pass; every later
 	// query against the same store version reuses it).
 	statsOnce sync.Once
 	stats     *SnapshotStats
 }
+
+// Mapped reports whether the snapshot answers reads in place from a
+// packed snapshot file instead of heap structures.
+func (sn *Snapshot) Mapped() bool { return sn.pack != nil }
 
 // Snapshot returns the current read view, building and caching it when the
 // store has been mutated since the last one. The cached snapshot is shared
@@ -157,9 +166,17 @@ func buildPostings(col []uint64, counts []int32) map[uint64][]int32 {
 }
 
 // NRows reports the number of live triples in the snapshot.
-func (sn *Snapshot) NRows() int { return len(sn.S) }
+func (sn *Snapshot) NRows() int {
+	if sn.pack != nil {
+		return sn.pack.nRows()
+	}
+	return len(sn.S)
+}
 
-// Dict exposes the term dictionary backing the snapshot's ids.
+// Dict exposes the term dictionary backing the snapshot's ids. It is
+// nil on a mapped snapshot, whose dictionary lives front-coded in the
+// snapshot file — use DecodeTerm / Lookup / DecodeAll instead, which
+// work in both modes.
 func (sn *Snapshot) Dict() *rdf.Dictionary { return sn.dict }
 
 // Version reports the store version this snapshot was built at.
@@ -167,12 +184,47 @@ func (sn *Snapshot) Version() uint64 { return sn.version }
 
 // Row returns the (s, p, o) ids of a snapshot row without locking.
 func (sn *Snapshot) Row(row int32) (uint64, uint64, uint64) {
+	if sn.pack != nil {
+		return sn.pack.row(row)
+	}
 	return sn.S[row], sn.P[row], sn.O[row]
+}
+
+// ColID returns one component id (0=S, 1=P, 2=O) of a snapshot row —
+// the executor's column accessor, valid in both heap and mapped mode.
+func (sn *Snapshot) ColID(comp int, row int32) uint64 {
+	if sn.pack != nil {
+		return sn.pack.colID(comp, row)
+	}
+	switch comp {
+	case 0:
+		return sn.S[row]
+	case 1:
+		return sn.P[row]
+	default:
+		return sn.O[row]
+	}
+}
+
+// DecodeTerm decodes a dictionary id in either mode.
+func (sn *Snapshot) DecodeTerm(id uint64) (rdf.Term, bool) {
+	if sn.pack != nil {
+		return sn.pack.term(id)
+	}
+	return sn.dict.Decode(id)
+}
+
+// Lookup returns the dictionary id of a term in either mode.
+func (sn *Snapshot) Lookup(t rdf.Term) (uint64, bool) {
+	if sn.pack != nil {
+		return sn.pack.lookup(t)
+	}
+	return sn.dict.Lookup(t)
 }
 
 // LookupID returns the dictionary id for a term (cardSource interface).
 func (sn *Snapshot) LookupID(t rdf.Term) (uint64, error) {
-	id, ok := sn.dict.Lookup(t)
+	id, ok := sn.Lookup(t)
 	if !ok {
 		return 0, ErrNotFound
 	}
@@ -185,6 +237,9 @@ func (sn *Snapshot) LookupID(t rdf.Term) (uint64, error) {
 // *buf (the caller's reusable scratch, grown as needed) and its filled
 // prefix is returned. buf may be nil for a one-shot allocation.
 func (sn *Snapshot) MatchRows(pat TriplePattern, buf *[]int32) []int32 {
+	if sn.pack != nil {
+		return sn.pack.matchRows(pat, buf)
+	}
 	var scratch []int32
 	if buf == nil {
 		buf = &scratch
@@ -238,6 +293,9 @@ func (sn *Snapshot) MatchRows(pat TriplePattern, buf *[]int32) []int32 {
 // Cardinality estimates the number of matches for a pattern without
 // materialising them (cardSource interface).
 func (sn *Snapshot) Cardinality(pat TriplePattern) int {
+	if sn.pack != nil {
+		return sn.pack.cardinality(pat)
+	}
 	est := len(sn.S)
 	if pat.S != 0 {
 		if n := len(sn.byS[pat.S]); n < est {
@@ -259,6 +317,9 @@ func (sn *Snapshot) Cardinality(pat TriplePattern) int {
 
 // Geometry returns the cached WGS84 geometry for a spatial literal id.
 func (sn *Snapshot) Geometry(id uint64) (strdf.SpatialValue, bool) {
+	if sn.pack != nil {
+		return sn.pack.geometry(id)
+	}
 	v, ok := sn.geoms[id]
 	return v, ok
 }
@@ -267,6 +328,9 @@ func (sn *Snapshot) Geometry(id uint64) (strdf.SpatialValue, bool) {
 // intersects box, honouring the store's spatial-index ablation setting at
 // snapshot time.
 func (sn *Snapshot) SpatialCandidates(box geo.Envelope) []uint64 {
+	if sn.pack != nil {
+		return sn.pack.spatialCandidates(box)
+	}
 	if sn.useIdx {
 		return sn.spatial.Search(box, nil)
 	}
@@ -283,6 +347,9 @@ func (sn *Snapshot) SpatialCandidates(box geo.Envelope) []uint64 {
 // geometry, sorted ascending — the deterministic input the binary
 // snapshot writer serialises.
 func (sn *Snapshot) GeomIDs() []uint64 {
+	if sn.pack != nil {
+		return sn.pack.geomIDs()
+	}
 	out := make([]uint64, 0, len(sn.geoms))
 	for id := range sn.geoms {
 		out = append(out, id)
@@ -321,6 +388,11 @@ type SnapshotStats struct {
 // first use and caching them for the snapshot's lifetime. Safe for
 // concurrent callers.
 func (sn *Snapshot) Stats() *SnapshotStats {
+	if sn.pack != nil {
+		// Mapped snapshots carry the statistics precomputed in the
+		// file's stats section: no O(n) pass, ever.
+		return sn.pack.stats
+	}
 	sn.statsOnce.Do(func() { sn.stats = sn.buildStats() })
 	return sn.stats
 }
@@ -363,15 +435,22 @@ func (sn *Snapshot) buildStats() *SnapshotStats {
 // candidate-set pruning the executor performs (which is envelope-based
 // too), so the planner's spatial estimates are as good as the index.
 func (sn *Snapshot) SpatialSelectivity(box geo.Envelope) float64 {
-	if len(sn.geoms) == 0 {
+	nGeoms := len(sn.geoms)
+	if sn.pack != nil {
+		nGeoms = sn.pack.stats.Geoms
+	}
+	if nGeoms == 0 {
 		return 0
 	}
-	return float64(len(sn.SpatialCandidates(box))) / float64(len(sn.geoms))
+	return float64(len(sn.SpatialCandidates(box))) / float64(nGeoms)
 }
 
 // DecodeAll decodes a batch of ids under one dictionary lock, writing into
 // out (which must have len(ids) capacity); unknown ids decode to the zero
 // Term. It returns out.
 func (sn *Snapshot) DecodeAll(ids []uint64, out []rdf.Term) []rdf.Term {
+	if sn.pack != nil {
+		return sn.pack.decodeAllTerms(ids, out)
+	}
 	return sn.dict.DecodeAll(ids, out)
 }

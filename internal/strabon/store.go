@@ -85,6 +85,15 @@ type Store struct {
 	// the present map have not been built yet and must be materialised
 	// (ensureIdx) before the first mutation or index-driven read.
 	lazyIdx bool
+	// packed, set by RestorePacked, means the store's state lives ONLY
+	// in a mapped packed snapshot: the dictionary is empty and the
+	// columns are nil. Reads are answered in place through the cached
+	// mapped Snapshot (snap); the first mutation — or any path that
+	// needs the heap representation — materialises via
+	// materializeLocked, which decodes the file into the fields above
+	// and clears packed. The mapping itself stays alive for the
+	// snapshot's lifetime.
+	packed *packView
 	// journal, when set, is notified ahead of every mutation (see
 	// Journal). journalErr latches the newest veto for diagnostics;
 	// journalVetoes counts them so callers can detect that a specific
@@ -135,9 +144,45 @@ func (st *Store) appendPosting(rows []int, row int) []int {
 	return append(rows, row)
 }
 
+// materializeLocked decodes a packed store's mapped state into the
+// heap representation (columns, dictionary, geometries) and leaves the
+// secondary indexes deferred behind lazyIdx; callers hold the write
+// lock. The store version does NOT move: materialisation changes the
+// representation, not the logical contents, so the cached mapped
+// snapshot stays valid and keeps serving readers until a real mutation
+// invalidates it. A decode failure here is unreachable for a file that
+// passed Open's full verification, so it panics rather than threading
+// an error through every mutation path.
+func (st *Store) materializeLocked() {
+	if st.packed == nil {
+		return
+	}
+	pv := st.packed
+	st.packed = nil
+	if err := pv.materializeInto(st); err != nil {
+		panic(fmt.Sprintf("strabon: materialising packed snapshot: %v", err))
+	}
+}
+
+// ensureMaterialized is materializeLocked for read paths that need the
+// heap representation (lock not held): double-checked read-to-write
+// upgrade, same shape as ensureIdx.
+func (st *Store) ensureMaterialized() {
+	st.mu.RLock()
+	mapped := st.packed != nil
+	st.mu.RUnlock()
+	if !mapped {
+		return
+	}
+	st.mu.Lock()
+	st.materializeLocked()
+	st.mu.Unlock()
+}
+
 // buildIndexesLocked materialises the deferred secondary structures of
 // a RestoreColumns store; callers hold the write lock.
 func (st *Store) buildIndexesLocked() {
+	st.materializeLocked()
 	if !st.lazyIdx {
 		return
 	}
@@ -163,7 +208,7 @@ func (st *Store) buildIndexesLocked() {
 // lazy R-tree build in SpatialCandidates.
 func (st *Store) ensureIdx() {
 	st.mu.RLock()
-	lazy := st.lazyIdx
+	lazy := st.lazyIdx || st.packed != nil
 	st.mu.RUnlock()
 	if !lazy {
 		return
@@ -178,6 +223,9 @@ func (st *Store) ensureIdx() {
 func (st *Store) SetSpatialIndexEnabled(on bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// The version bump below invalidates the cached snapshot; a mapped
+	// store must decode to heap first or the rebuild would see nothing.
+	st.materializeLocked()
 	st.useSpatialIndex = on
 	// Snapshots capture the setting: drop the cached one and move the
 	// version so an in-flight snapshot build cannot reinstall a view with
@@ -186,13 +234,22 @@ func (st *Store) SetSpatialIndexEnabled(on bool) {
 	st.version++
 }
 
-// Dict exposes the term dictionary.
-func (st *Store) Dict() *rdf.Dictionary { return st.dict }
+// Dict exposes the term dictionary. On a packed store the dictionary
+// lives front-coded in the mapped snapshot, so this materialises the
+// heap representation first — query paths should go through the
+// Snapshot's Lookup/DecodeTerm accessors instead, which work in place.
+func (st *Store) Dict() *rdf.Dictionary {
+	st.ensureMaterialized()
+	return st.dict
+}
 
 // Len reports the number of live triples.
 func (st *Store) Len() int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	if st.packed != nil {
+		return st.packed.nRows()
+	}
 	return len(st.s) - st.deleted
 }
 
@@ -361,6 +418,7 @@ func (st *Store) JournalVetoes() uint64 {
 
 // Remove deletes a triple; it reports whether it was present.
 func (st *Store) Remove(t rdf.Triple) bool {
+	st.ensureMaterialized() // the lookups below need the heap dictionary
 	sID, ok := st.dict.Lookup(t.S)
 	if !ok {
 		return false
@@ -475,12 +533,21 @@ func (st *Store) matchLocked(pat TriplePattern) []int {
 func (st *Store) Row(row int) (uint64, uint64, uint64) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	if st.packed != nil {
+		return st.packed.row(int32(row))
+	}
 	return st.s[row], st.p[row], st.o[row]
 }
 
 // Cardinality estimates the number of matches for a pattern without
 // materialising them — the optimizer's selectivity source.
 func (st *Store) Cardinality(pat TriplePattern) int {
+	st.mu.RLock()
+	if st.packed != nil {
+		defer st.mu.RUnlock()
+		return st.packed.cardinality(pat)
+	}
+	st.mu.RUnlock()
 	st.ensureIdx()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -542,6 +609,9 @@ func (st *Store) SetAppliedSeq(seq uint64) {
 func (st *Store) Geometry(id uint64) (strdf.SpatialValue, bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	if st.packed != nil {
+		return st.packed.geometry(id)
+	}
 	v, ok := st.geoms[id]
 	return v, ok
 }
@@ -551,6 +621,10 @@ func (st *Store) Geometry(id uint64) (strdf.SpatialValue, bool) {
 // every cached geometry (the ablation baseline).
 func (st *Store) SpatialCandidates(box geo.Envelope) []uint64 {
 	st.mu.RLock()
+	if st.packed != nil {
+		defer st.mu.RUnlock()
+		return st.packed.spatialCandidates(box)
+	}
 	if st.useSpatialIndex && st.spatialStale {
 		// Upgrade to the write lock and build the tree; double-check
 		// staleness, another reader may have won the race.
@@ -577,6 +651,7 @@ func (st *Store) SpatialCandidates(box geo.Envelope) []uint64 {
 
 // Triples materialises all live triples (decoded), in row order.
 func (st *Store) Triples() []rdf.Triple {
+	st.ensureMaterialized()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.triplesLocked()
@@ -611,6 +686,15 @@ type Stats struct {
 func (st *Store) Stats() Stats {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	if st.packed != nil {
+		s := st.packed.stats
+		return Stats{
+			Triples:         s.Triples,
+			Terms:           st.packed.nTerms(),
+			SpatialLiterals: s.Geoms,
+			Predicates:      s.DistinctP,
+		}
+	}
 	nPreds := 0
 	if st.lazyIdx {
 		seen := make(map[uint64]struct{}, 64)
@@ -639,6 +723,7 @@ func (st *Store) Stats() Stats {
 // table of dictionary ids — the MonetDB layout the paper's Strabon sits
 // on, usable directly by the SciQL engine for mixed relational/RDF work.
 func (st *Store) AsTable() *column.Table {
+	st.ensureMaterialized()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	n := len(st.s) - st.deleted
@@ -764,6 +849,7 @@ func (st *Store) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	st.ensureMaterialized()
 	// Capture both halves under a single lock acquisition. Serialisation
 	// to memory is cheap relative to disk I/O and keeps the lock hold
 	// time independent of storage latency.
@@ -846,11 +932,47 @@ var ErrNotFound = fmt.Errorf("strabon: term not found")
 
 // LookupID returns the dictionary id for a term.
 func (st *Store) LookupID(t rdf.Term) (uint64, error) {
+	st.mu.RLock()
+	if st.packed != nil {
+		defer st.mu.RUnlock()
+		if id, ok := st.packed.lookup(t); ok {
+			return id, nil
+		}
+		return 0, ErrNotFound
+	}
+	st.mu.RUnlock()
 	id, ok := st.dict.Lookup(t)
 	if !ok {
 		return 0, ErrNotFound
 	}
 	return id, nil
+}
+
+// StorageMode reports where the store's state currently lives:
+// "mapped" while reads are answered in place from a packed snapshot
+// file, "heap" once materialised (or for stores built by ingest).
+func (st *Store) StorageMode() string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.packed != nil {
+		return "mapped"
+	}
+	return "heap"
+}
+
+// ResidentEstimate approximates the heap bytes the store's primary
+// state pins: for a mapped store, just the decode caches populated so
+// far (the columns, postings and dictionary stay on the mapping); for
+// a heap store, the columns plus dictionary estimate. Secondary
+// indexes and posting lists are excluded in heap mode — the figure is
+// a like-for-like comparison of primary state, not total RSS.
+func (st *Store) ResidentEstimate() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.packed != nil {
+		return st.packed.cachedHeapBytes()
+	}
+	return int64(len(st.s))*24 + st.dict.EstimateBytes()
 }
 
 // RestoreColumns rebuilds a store directly from a binary snapshot's

@@ -1,0 +1,93 @@
+package stsparql
+
+// Heap-vs-mapped equivalence: the 400-query randomized corpus must
+// return bit-identical results (same rows, same row order) whether the
+// store serves queries from heap structures or in place from a packed,
+// mmap-ed snapshot file — at morsel parallelism 1, 2 and 4 — and the
+// read-only workload must never force the mapped store to materialise.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/colpack"
+	"repro/internal/strabon"
+	"repro/internal/stsparql/corpus"
+)
+
+// mappedEquivStore round-trips src through a packed snapshot file and
+// restores it mapped. The mapping stays alive for the store's
+// lifetime (process exit unmaps).
+func mappedEquivStore(t *testing.T, src *strabon.Store) *strabon.Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.pack")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := colpack.Write(f, src.Snapshot().PackData(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := colpack.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := strabon.RestorePacked(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestHeapMappedEquivalence(t *testing.T) {
+	forceTinyMorsels(t)
+	rng := rand.New(rand.NewSource(corpus.Seed))
+	heapSt := equivStore(rng)
+	mappedSt := mappedEquivStore(t, heapSt)
+	if mode := mappedSt.StorageMode(); mode != "mapped" {
+		t.Fatalf("restored store mode = %q, want mapped", mode)
+	}
+
+	queries := make([]string, 400)
+	for i := range queries {
+		queries[i] = randQuery(rng)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		heapEng := New(heapSt)
+		heapEng.MaxParallelism = workers
+		mappedEng := New(mappedSt)
+		mappedEng.MaxParallelism = workers
+		for qi, query := range queries {
+			hres, herr := heapEng.Query(query)
+			mres, merr := mappedEng.Query(query)
+			if (herr == nil) != (merr == nil) {
+				t.Fatalf("workers=%d query #%d error mismatch:\nheap=%v\nmapped=%v\nquery:\n%s",
+					workers, qi, herr, merr, query)
+			}
+			if herr != nil {
+				continue
+			}
+			want := orderedBindings(hres)
+			got := orderedBindings(mres)
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d query #%d row count: heap=%d mapped=%d\nquery:\n%s",
+					workers, qi, len(want), len(got), query)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("workers=%d query #%d row %d differs (order matters):\nheap:   %s\nmapped: %s\nquery:\n%s",
+						workers, qi, i, want[i], got[i], query)
+				}
+			}
+		}
+	}
+	// The whole read-only corpus must have run in place.
+	if mode := mappedSt.StorageMode(); mode != "mapped" {
+		t.Fatalf("corpus materialised the store (mode %q)", mode)
+	}
+}

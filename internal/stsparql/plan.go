@@ -210,7 +210,7 @@ func (pl *planner) estimatePattern(pat Pattern, bound map[string]bool, hints map
 		if pt.IsVar() {
 			continue
 		}
-		id, ok := pl.snap.Dict().Lookup(pt.Term)
+		id, ok := pl.snap.Lookup(pt.Term)
 		if !ok {
 			return 0 // unknown constant: the pattern cannot match
 		}

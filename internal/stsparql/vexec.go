@@ -163,13 +163,13 @@ func (v *vexec) term(id uint64) (rdf.Term, bool) {
 	if id&extraBit != 0 {
 		return v.extra[id&^extraBit], true
 	}
-	return v.snap.Dict().Decode(id)
+	return v.snap.DecodeTerm(id)
 }
 
 // idOf interns a computed term: the dictionary id when the store already
 // knows the term, else a per-query extra id. Serial-only (see vexec.extra).
 func (v *vexec) idOf(t rdf.Term) uint64 {
-	if id, ok := v.snap.Dict().Lookup(t); ok {
+	if id, ok := v.snap.Lookup(t); ok {
 		return id
 	}
 	if id, ok := v.extraID[t]; ok {
@@ -307,7 +307,7 @@ func (v *vexec) evalPattern(n *planNode, in *vtable, hints map[string]geo.Envelo
 		if pt.IsVar() {
 			continue
 		}
-		id, ok := v.snap.Dict().Lookup(pt.Term)
+		id, ok := v.snap.Lookup(pt.Term)
 		if !ok {
 			// Unknown constant: the pattern matches nothing.
 			return &vtable{width: in.width}, nil
@@ -389,14 +389,7 @@ func (v *vexec) evalPattern(n *planNode, in *vtable, hints map[string]geo.Envelo
 		return v.evalPatternPerRow(n, pat, constPat, kind, slotAt, in, width, spatialSet)
 	}
 	col := func(i int, c int32) uint64 {
-		switch i {
-		case 0:
-			return v.snap.S[c]
-		case 1:
-			return v.snap.P[c]
-		default:
-			return v.snap.O[c]
-		}
+		return v.snap.ColID(i, c)
 	}
 	// One batched probe for the pattern's constants.
 	cands := v.snap.MatchRows(constPat, &v.buf)
@@ -417,7 +410,7 @@ func (v *vexec) evalPattern(n *planNode, in *vtable, hints map[string]geo.Envelo
 		filtered := make([]int32, 0, len(cands))
 	candLoop:
 		for _, c := range cands {
-			if spatialSet != nil && !spatialSet[v.snap.O[c]] {
+			if spatialSet != nil && !spatialSet[v.snap.ColID(2, c)] {
 				continue
 			}
 			for _, d := range dupNew {

@@ -12,9 +12,12 @@
 #   3. the recovered store answers queries.
 #
 # Usage: scripts/crashtest.sh [port]   (default 18321)
+# SNAPSHOT_FORMAT=raw|packed selects the checkpoint format under test
+# (default packed).
 set -u
 
 PORT="${1:-18321}"
+SNAPSHOT_FORMAT="${SNAPSHOT_FORMAT:-packed}"
 BASE="http://127.0.0.1:${PORT}"
 WORK="$(mktemp -d)"
 DATA="$WORK/data"
@@ -50,8 +53,9 @@ wait_healthy() {
 echo "crashtest: building teleios-server"
 go build -o "$WORK/teleios-server" ./cmd/teleios-server || fail "build"
 
-echo "crashtest: starting server with -data-dir $DATA"
+echo "crashtest: starting server with -data-dir $DATA (-snapshot-format $SNAPSHOT_FORMAT)"
 "$WORK/teleios-server" -addr "127.0.0.1:${PORT}" -data-dir "$DATA" \
+    -snapshot-format "$SNAPSHOT_FORMAT" \
     -wal-sync always -linked >"$WORK/server1.log" 2>&1 &
 SERVER_PID=$!
 wait_healthy server1.log
@@ -90,6 +94,7 @@ echo "crashtest: $ACKED updates acknowledged before the kill"
 
 echo "crashtest: restarting on the same data dir"
 "$WORK/teleios-server" -addr "127.0.0.1:${PORT}" -data-dir "$DATA" \
+    -snapshot-format "$SNAPSHOT_FORMAT" \
     -wal-sync always >"$WORK/server2.log" 2>&1 &
 SERVER_PID=$!
 wait_healthy server2.log
