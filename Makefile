@@ -20,7 +20,7 @@ BENCH_ARRAY = BenchmarkConvolve2D|BenchmarkResampleBilinear|BenchmarkTileAvg|Ben
 BENCH_PERSIST = BenchmarkWALAppend|BenchmarkWALAppendBatch|BenchmarkWALAppendSynced|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad|BenchmarkSnapshotScanCold|BenchmarkNTriplesLoad|BenchmarkRecoveryReplay
 BENCH_REPL = BenchmarkTailApply|BenchmarkReplicaBootstrap
 
-.PHONY: all build test race vet bench bench-json equivalence crash-test replica-test clean
+.PHONY: all build test race vet bench bench-json equivalence crash-test replica-test fault-test clean
 
 all: vet build test
 
@@ -44,6 +44,16 @@ crash-test:
 # acked-write loss.
 replica-test:
 	bash scripts/replicatest.sh
+
+# fault-test runs the deterministic failpoint chaos suites (torn WAL
+# writes, fsync failures, corrupt snapshots, torn replication streams,
+# dropped clients, overload shedding) plus the resilience-primitive and
+# failpoint-framework unit tests under -race.
+fault-test:
+	$(GO) test -race -count=1 ./internal/faults/ ./internal/resilience/
+	$(GO) test -count=1 -run 'Fault|Torn|Rollback|Fsync|Corrupt|SlowDisk|Snapshot' ./internal/persist/
+	$(GO) test -count=1 -run 'Bootstrap|TailFault|TornTail' ./internal/replication/
+	$(GO) test -count=1 -run 'RateLimit|Shed|Degraded|WALBreak|Serializer|Disconnect|RetryAfter|EWMA|ClientKey' ./internal/endpoint/
 
 vet:
 	$(GO) vet ./...

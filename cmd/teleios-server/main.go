@@ -106,6 +106,11 @@ type serverConfig struct {
 	legacyEval      bool
 	replicateFrom   string
 	routeTo         string
+	rateLimit       float64
+	rateBurst       int
+	shedWatermark   float64
+	breakerFails    int
+	breakerOpen     time.Duration
 }
 
 func main() {
@@ -129,6 +134,11 @@ func main() {
 	flag.BoolVar(&cfg.legacyEval, "legacy-eval", false, "use the legacy binding-at-a-time evaluator instead of the vectorized id-space executor")
 	flag.StringVar(&cfg.replicateFrom, "replicate-from", "", "run as a read-only replica tailing this primary's WAL (e.g. http://db0:8080; requires -data-dir)")
 	flag.StringVar(&cfg.routeTo, "route-to", "", "run as a stateless query router over this comma-separated backend list (first = primary, rest = replicas)")
+	flag.Float64Var(&cfg.rateLimit, "rate-limit", 0, "per-client request rate cap in req/s, keyed on the Teleios-Tenant header or remote IP (0 disables; excess gets 429)")
+	flag.IntVar(&cfg.rateBurst, "rate-burst", 0, "per-client burst allowance above -rate-limit (0 means 2*rate-limit)")
+	flag.Float64Var(&cfg.shedWatermark, "shed-watermark", 0, "fraction of -queue at which new queries are shed with 503 before the pool saturates (0 or out of range sheds only when full)")
+	flag.IntVar(&cfg.breakerFails, "breaker-fails", 0, "router: consecutive failed health checks before a backend's circuit breaker ejects it (0 = default 2)")
+	flag.DurationVar(&cfg.breakerOpen, "breaker-open", 0, "router: minimum hold-out after a breaker trips, damping flapping backends (0 readmits on the first healthy check)")
 	legacySciQL := flag.Bool("legacy-sciql", false, "use the legacy tuple-at-a-time SciQL interpreter instead of the columnar kernel executor (applies to every SciQL engine in this process)")
 	flag.Parse()
 
@@ -277,11 +287,18 @@ func run(cfg serverConfig) error {
 		QueryTimeout:   cfg.timeout,
 		CacheSize:      cfg.cacheSize,
 		ReadOnly:       cfg.readonly,
+		RateLimit:      cfg.rateLimit,
+		RateBurst:      cfg.rateBurst,
+		ShedWatermark:  cfg.shedWatermark,
 	}
 	if manager != nil {
 		epCfg.DurabilityStats = func() endpoint.DurabilityStats {
 			return durabilityStats(manager)
 		}
+		// A WAL that latched an unrecoverable append failure puts the
+		// node in degraded read-only mode: reads keep serving, updates
+		// get a clear 503 until a restart re-truncates the log.
+		epCfg.DegradedCheck = manager.Broken
 	}
 	// With a data dir the node can feed replicas: mount the WAL-shipping
 	// handlers on the same mux and surface shipping counters in /stats.
@@ -402,6 +419,9 @@ func runReplica(cfg serverConfig) error {
 		CacheSize:       cfg.cacheSize,
 		ReadOnly:        true,
 		ReadOnlyMessage: fmt.Sprintf("this node is a read-only replica; send updates to the primary at %s", cfg.replicateFrom),
+		RateLimit:       cfg.rateLimit,
+		RateBurst:       cfg.rateBurst,
+		ShedWatermark:   cfg.shedWatermark,
 		DurabilityStats: func() endpoint.DurabilityStats {
 			return durabilityStats(rep.Manager())
 		},
@@ -439,8 +459,10 @@ func runRouter(cfg serverConfig) error {
 		return errors.New("-route-to needs at least a primary URL")
 	}
 	rt, err := replication.NewRouter(replication.RouterOptions{
-		Primary:  hosts[0],
-		Replicas: hosts[1:],
+		Primary:        hosts[0],
+		Replicas:       hosts[1:],
+		FailAfter:      cfg.breakerFails,
+		BreakerOpenFor: cfg.breakerOpen,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "teleios-server: "+format+"\n", args...)
 		},

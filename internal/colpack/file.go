@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/rdf"
 )
@@ -274,6 +275,9 @@ type Reader struct {
 // sequential streaming pass with no allocation or parsing — the point
 // of the format is that *materialisation* is lazy; integrity is not.
 func Open(path string) (*Reader, error) {
+	if err := faults.Eval("colpack/open"); err != nil {
+		return nil, err
+	}
 	data, release, err := mapFile(path)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,176 @@
+package endpoint
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// TenantHeader names the requesting client for per-client rate
+// limiting. Absent the header, the client's remote IP is the key.
+const TenantHeader = "Teleios-Tenant"
+
+// admission is the endpoint's overload-protection front door: it
+// enforces per-client rate limits, sheds load when the queue runs hot,
+// and turns the observed mean query latency into honest Retry-After
+// hints instead of a hardcoded "1".
+type admission struct {
+	limiter   *resilience.PerKey // nil: rate limiting disabled
+	rateLimit float64
+	watermark float64 // shed when queued >= ceil(watermark*queueCap)
+
+	latMu  sync.Mutex
+	ewmaMs float64 // exponentially weighted mean query latency
+
+	shed            atomic.Uint64
+	rateLimited     atomic.Uint64
+	degradedDenials atomic.Uint64
+}
+
+func newAdmission(cfg Config) *admission {
+	a := &admission{rateLimit: cfg.RateLimit, watermark: cfg.ShedWatermark}
+	if a.watermark <= 0 || a.watermark > 1 {
+		a.watermark = 1
+	}
+	if cfg.RateLimit > 0 {
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = int(math.Ceil(2 * cfg.RateLimit))
+		}
+		maxClients := cfg.MaxClients
+		if maxClients <= 0 {
+			maxClients = 4096
+		}
+		a.limiter = resilience.NewPerKey(cfg.RateLimit, burst, maxClients)
+	}
+	return a
+}
+
+// clientKey identifies the requester: the Teleios-Tenant header when
+// present, else the remote IP (without the ephemeral port, so one
+// client's connections share a bucket).
+func clientKey(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return "tenant:" + t
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// admitClient checks the per-client rate limit. On refusal it returns
+// ok=false and the whole-second Retry-After hint.
+func (a *admission) admitClient(r *http.Request) (ok bool, retryAfter int) {
+	if a.limiter == nil {
+		return true, 0
+	}
+	ok, wait := a.limiter.Take(clientKey(r))
+	if ok {
+		return true, 0
+	}
+	a.rateLimited.Add(1)
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return false, secs
+}
+
+// shouldShed reports whether the queue is past the shed watermark:
+// with watermark w and queue capacity c, admission stops once w*c
+// requests are already waiting — before the pool starts rejecting,
+// when w < 1. An unbuffered pool (c == 0) relies on the pool's own
+// immediate-handoff rejection.
+func (a *admission) shouldShed(ps PoolStats) bool {
+	if ps.QueueCap <= 0 {
+		return false
+	}
+	limit := int(math.Ceil(a.watermark * float64(ps.QueueCap)))
+	return ps.Queued >= limit
+}
+
+// observe feeds one completed evaluation's wall time into the latency
+// EWMA that Retry-After hints are computed from.
+func (a *admission) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	a.latMu.Lock()
+	if a.ewmaMs == 0 {
+		a.ewmaMs = ms
+	} else {
+		const alpha = 0.2
+		a.ewmaMs += alpha * (ms - a.ewmaMs)
+	}
+	a.latMu.Unlock()
+}
+
+func (a *admission) meanMs() float64 {
+	a.latMu.Lock()
+	defer a.latMu.Unlock()
+	return a.ewmaMs
+}
+
+// retryAfter estimates, in whole seconds, how long until a newly
+// arriving query would get a worker: the queued work ahead of it plus
+// itself, at the observed mean latency, spread across the workers.
+// Clamped to [1, 60] so the hint is always actionable.
+func (a *admission) retryAfter(ps PoolStats) int {
+	workers := ps.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	mean := a.meanMs()
+	if mean <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(ps.Queued+1) * mean / float64(workers) / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// AdmissionStats is the overload-protection telemetry block in /stats.
+type AdmissionStats struct {
+	RateLimitPerSec float64 `json:"rate_limit_per_sec,omitempty"`
+	ShedWatermark   float64 `json:"shed_watermark"`
+	Shed            uint64  `json:"shed"`
+	RateLimited     uint64  `json:"rate_limited"`
+	Degraded        bool    `json:"degraded"`
+	DegradedError   string  `json:"degraded_error,omitempty"`
+	DegradedDenials uint64  `json:"degraded_denials"`
+	MeanQueryMs     float64 `json:"mean_query_ms"`
+	RetryAfterHintS int     `json:"retry_after_hint_s"`
+	Clients         int     `json:"clients"`
+	ClientsEvicted  uint64  `json:"clients_evicted"`
+}
+
+func (a *admission) stats(ps PoolStats, degraded error) AdmissionStats {
+	st := AdmissionStats{
+		RateLimitPerSec: a.rateLimit,
+		ShedWatermark:   a.watermark,
+		Shed:            a.shed.Load(),
+		RateLimited:     a.rateLimited.Load(),
+		DegradedDenials: a.degradedDenials.Load(),
+		MeanQueryMs:     math.Round(a.meanMs()*1000) / 1000,
+		RetryAfterHintS: a.retryAfter(ps),
+	}
+	if degraded != nil {
+		st.Degraded = true
+		st.DegradedError = degraded.Error()
+	}
+	if a.limiter != nil {
+		st.Clients = a.limiter.Len()
+		st.ClientsEvicted = a.limiter.Evicted()
+	}
+	return st
+}

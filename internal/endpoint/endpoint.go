@@ -102,6 +102,27 @@ type Config struct {
 	ReadOnlyMessage string
 	// MaxQueryBytes bounds the request query text (default 1 MiB).
 	MaxQueryBytes int64
+	// RateLimit caps each client's request rate in requests/second,
+	// keyed on the Teleios-Tenant header (or remote IP). 0 disables
+	// rate limiting. Excess requests get 429 with a Retry-After hint.
+	RateLimit float64
+	// RateBurst is the per-client burst allowance (default 2*RateLimit,
+	// minimum 1).
+	RateBurst int
+	// MaxClients bounds how many per-client rate-limit buckets are kept
+	// (LRU-evicted beyond it, default 4096), so a spoofed tenant space
+	// cannot grow memory without bound.
+	MaxClients int
+	// ShedWatermark is the fraction of QueueDepth at which admission
+	// control starts shedding queries before the pool saturates (0 or
+	// out of range selects 1.0: shed only when the queue is full).
+	ShedWatermark float64
+	// DegradedCheck, when set, is consulted before every update: a
+	// non-nil error puts the endpoint in degraded read-only mode —
+	// reads keep serving, updates get a clear 503 naming the cause.
+	// teleios-server wires it to persist.Manager.Broken (the latched
+	// can't-write-until-restart state).
+	DegradedCheck func() error
 	// DurabilityStats, when set, supplies write-ahead-log and checkpoint
 	// telemetry for /stats (wired to persist.Manager.Stats by
 	// teleios-server; nil when the server runs without a data dir).
@@ -143,6 +164,7 @@ type Server struct {
 	cfg   Config
 	pool  *Pool
 	cache *ResultCache
+	adm   *admission
 	// updateMu gives UPDATE statements statement-level atomicity: the
 	// engine applies a modify's deletions and insertions triple-by-triple
 	// under separate store-lock acquisitions, so without exclusion here
@@ -186,7 +208,25 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		pool:  NewPool(cfg.MaxConcurrency, cfg.QueueDepth),
 		cache: NewResultCache(cfg.CacheSize),
+		adm:   newAdmission(cfg),
 	}, nil
+}
+
+// degradedErr reports why the server is in degraded read-only mode,
+// nil when it is not. A transient journal veto fails only its own
+// update (500); this hook reports the *latched* failures — a broken
+// WAL, an unwritable data dir — where every write is doomed until
+// restart, so refusing them up front with a clear 503 beats limping.
+func (s *Server) degradedErr() error {
+	if s.cfg.DegradedCheck == nil {
+		return nil
+	}
+	return s.cfg.DegradedCheck()
+}
+
+// setRetryAfter stamps the computed overload hint on a 503.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfter(s.pool.Stats())))
 }
 
 // Close drains the worker pool. In-flight queries finish; new requests
@@ -272,6 +312,11 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
 		return
 	}
+	if ok, retry := s.adm.admitClient(r); !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		http.Error(w, "rate limit exceeded for this client; slow down", http.StatusTooManyRequests)
+		return
+	}
 	src, err := s.extractQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -307,6 +352,20 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 			// The protocol forbids updates via GET (they mutate state).
 			w.Header().Set("Allow", "POST")
 			http.Error(w, "updates require POST", http.StatusMethodNotAllowed)
+			return
+		}
+		if jerr := s.degradedErr(); jerr != nil {
+			// The write-ahead journal has latched a failure (disk full,
+			// I/O error, unwritable data dir): the store can no longer
+			// make writes durable. Degrade honestly — keep serving
+			// reads, refuse writes with a clear 503 — instead of
+			// accepting updates that would be lost on restart.
+			s.adm.degradedDenials.Add(1)
+			w.Header().Set("Retry-After", "60")
+			http.Error(w, fmt.Sprintf(
+				"endpoint is in degraded read-only mode: the write-ahead journal failed (%v); "+
+					"reads continue to be served, writes are refused until the data directory recovers and the server restarts", jerr),
+				http.StatusServiceUnavailable)
 			return
 		}
 		// Update responses are always JSON; Accept does not apply.
@@ -359,7 +418,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrOverloaded) || errors.Is(err, ErrClosed):
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
 		return
 	case errors.Is(err, errEvalPanic):
@@ -382,7 +441,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 				http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		http.Error(w, "query timed out", http.StatusServiceUnavailable)
 		return
 	default:
@@ -442,6 +501,14 @@ func (s *Server) evaluate(ctx context.Context, src string, parsed *stsparql.Quer
 			return res, nil
 		}
 	}
+	// Shed before submitting: past the watermark the queue is long
+	// enough that this request would mostly wait, so a fast 503 with an
+	// honest Retry-After serves the client better than a slow timeout.
+	if s.adm.shouldShed(s.pool.Stats()) {
+		s.adm.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	start := time.Now()
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.QueryTimeout)
 	defer cancel()
 	var (
@@ -480,6 +547,7 @@ func (s *Server) evaluate(ctx context.Context, src string, parsed *stsparql.Quer
 	}); err != nil {
 		return nil, err
 	}
+	s.adm.observe(time.Since(start))
 	if evalErr != nil {
 		return nil, evalErr
 	}
@@ -578,16 +646,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.ReplicationStats != nil {
 		repl = s.cfg.ReplicationStats()
 	}
+	ps := s.pool.Stats()
 	json.NewEncoder(w).Encode(struct {
 		Store       storeStats      `json:"store"`
 		Cache       CacheStats      `json:"cache"`
 		Pool        PoolStats       `json:"pool"`
+		Admission   AdmissionStats  `json:"admission"`
 		Persistence DurabilityStats `json:"persistence"`
 		Replication any             `json:"replication,omitempty"`
 	}{
 		Store:       ss,
 		Cache:       s.cache.Stats(),
-		Pool:        s.pool.Stats(),
+		Pool:        ps,
+		Admission:   s.adm.stats(ps, s.degradedErr()),
 		Persistence: durability,
 		Replication: repl,
 	})

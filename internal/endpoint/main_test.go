@@ -1,0 +1,12 @@
+package endpoint
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain verifies no test leaves goroutines behind — the endpoint's
+// pool workers, timed-out evaluations and dropped-client serializations
+// must all unwind.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

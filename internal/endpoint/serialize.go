@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/rdf"
 	"repro/internal/strdf"
 	"repro/internal/stsparql"
@@ -226,6 +227,9 @@ func memoResolver(r geomResolver) geomResolver {
 // for the query form (the form decides the result shape: bindings
 // table, boolean, or graph).
 func writeResult(w io.Writer, res *stsparql.Result, form stsparql.QueryForm, f Format, geom geomResolver) error {
+	if err := faults.Eval("endpoint/serialize"); err != nil {
+		return err
+	}
 	if geom == nil {
 		geom = parseGeomDirect
 	}

@@ -1,0 +1,226 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInactiveIsNil(t *testing.T) {
+	Reset()
+	if err := Eval("never/armed"); err != nil {
+		t.Fatalf("unarmed failpoint returned %v", err)
+	}
+	if got := Hits("never/armed"); got != 0 {
+		t.Fatalf("hits = %d, want 0", got)
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p", "error(disk gone)"); err != nil {
+		t.Fatal(err)
+	}
+	err := Eval("p")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "disk gone") {
+		t.Fatalf("err = %v, want message included", err)
+	}
+	// Forever: still failing on the tenth evaluation.
+	for i := 0; i < 9; i++ {
+		if err := Eval("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("eval %d: err = %v", i, err)
+		}
+	}
+	if got := Hits("p"); got != 10 {
+		t.Fatalf("hits = %d, want 10", got)
+	}
+}
+
+func TestCountedSequence(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p", "2*error->off"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Eval("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("eval %d: err = %v, want injected", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := Eval("p"); err != nil {
+			t.Fatalf("after exhaustion: err = %v, want nil", err)
+		}
+	}
+	if got := Hits("p"); got != 5 {
+		t.Fatalf("hits = %d, want 5", got)
+	}
+}
+
+func TestExhaustedSpecGoesQuiet(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p", "1*error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Eval("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first eval: %v", err)
+	}
+	if err := Eval("p"); err != nil {
+		t.Fatalf("second eval: %v, want nil", err)
+	}
+}
+
+func TestTornAction(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p", "1*torn(7)->off"); err != nil {
+		t.Fatal(err)
+	}
+	err := Eval("p")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn err should wrap ErrInjected, got %v", err)
+	}
+	allow, ok := AsTorn(err)
+	if !ok || allow != 7 {
+		t.Fatalf("AsTorn = (%d, %v), want (7, true)", allow, ok)
+	}
+	if _, ok := AsTorn(errors.New("other")); ok {
+		t.Fatal("AsTorn matched a non-torn error")
+	}
+}
+
+func TestSleepAction(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p", "1*sleep(30ms)->off"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Eval("p"); err != nil {
+		t.Fatalf("sleep eval: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("slept only %v", d)
+	}
+	start = time.Now()
+	if err := Eval("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("exhausted sleep still slept %v", d)
+	}
+}
+
+func TestDisableAndActive(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("b", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable("a", "off"); err != nil {
+		t.Fatal(err)
+	}
+	got := Active()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Active = %v", got)
+	}
+	Disable("b")
+	if err := Eval("b"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+	Disable("b") // double-disable is a no-op
+	Disable("a")
+	if got := Active(); len(got) != 0 {
+		t.Fatalf("Active after disable = %v", got)
+	}
+	// With nothing armed the fast path must be restored.
+	if armed.Load() != 0 {
+		t.Fatalf("armed = %d, want 0", armed.Load())
+	}
+}
+
+func TestEnableFromSpec(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := EnableFromSpec("x=1*error->off; y=error(boom) ;"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Eval("x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("x: %v", err)
+	}
+	if err := Eval("y"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("y: %v", err)
+	}
+	if err := EnableFromSpec("garbage"); err == nil {
+		t.Fatal("want error for missing '='")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "explode", "-1*error", "x*error", "sleep(nope)",
+		"torn(-2)", "torn(x)", "sleep(5ms", "error(unclosed",
+	} {
+		if _, err := parseSpec(spec); err == nil {
+			t.Errorf("parseSpec(%q) accepted", spec)
+		}
+	}
+	for _, spec := range []string{
+		"off", "error", "error(m s g)", "0*error->off",
+		"3*sleep(1ms)->2*torn(0)->error", " 2* error -> off ",
+	} {
+		if _, err := parseSpec(spec); err != nil {
+			t.Errorf("parseSpec(%q): %v", spec, err)
+		}
+	}
+}
+
+func TestReEnableReplacesSpec(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable("p", "off"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Eval("p"); err != nil {
+		t.Fatalf("re-enabled off spec fired: %v", err)
+	}
+	if armed.Load() != 1 {
+		t.Fatalf("armed = %d, want 1 (re-enable must not double-count)", armed.Load())
+	}
+}
+
+func TestConcurrentEval(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p", "100*error->off"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			n := 0
+			for i := 0; i < 50; i++ {
+				if errors.Is(Eval("p"), ErrInjected) {
+					n++
+				}
+			}
+			done <- n
+		}()
+	}
+	total := 0
+	for g := 0; g < 8; g++ {
+		total += <-done
+	}
+	if total != 100 {
+		t.Fatalf("injected %d errors, want exactly 100", total)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/faults"
 )
 
 // WriteFileAtomic replaces path with the bytes produced by write, such
@@ -25,12 +27,18 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	if err != nil {
 		return err
 	}
+	keepTmp := false
 	defer func() {
 		if err != nil {
 			f.Close()
-			os.Remove(tmp)
+			if !keepTmp {
+				os.Remove(tmp)
+			}
 		}
 	}()
+	if err = faults.Eval("fsx/write"); err != nil {
+		return err
+	}
 	bw := bufio.NewWriterSize(f, 1<<16)
 	if err = write(bw); err != nil {
 		return err
@@ -42,6 +50,12 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 		return err
 	}
 	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = faults.Eval("fsx/rename"); err != nil {
+		// A failure here models a crash between the temp fsync and the
+		// rename: the stray .tmp a real crash would leave stays behind.
+		keepTmp = true
 		return err
 	}
 	if err = os.Rename(tmp, path); err != nil {

@@ -1,0 +1,305 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/stsparql"
+)
+
+// The chaos suite: every test arms a named failpoint, drives the store
+// through it, and proves the documented degraded-but-correct outcome —
+// vetoed writes stay vetoed, acked writes survive recovery, and no
+// fault leaks into a later test (faults.Reset on cleanup). None of
+// these tests may run in parallel: failpoints are process-global.
+
+func armFaults(t *testing.T, spec string) {
+	t.Helper()
+	t.Cleanup(faults.Reset)
+	if err := faults.EnableFromSpec(spec); err != nil {
+		t.Fatalf("EnableFromSpec(%q): %v", spec, err)
+	}
+}
+
+// TestFsyncFailureVetoesWriteButRecovers: an fsync error on an acked-
+// durability WAL must veto exactly that mutation (memory unchanged,
+// rollback truncates the record) and the store must keep accepting
+// writes afterwards — the degraded state is "one update refused", not
+// "log poisoned".
+func TestFsyncFailureVetoesWriteButRecovers(t *testing.T) {
+	dir := t.TempDir()
+	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways })
+	if !st.Add(tr("a", "p", "b")) {
+		t.Fatal("first add refused")
+	}
+
+	armFaults(t, "wal/fsync=1*error(disk full)->off")
+	if st.Add(tr("a", "p", "vetoed")) {
+		t.Fatal("add acked despite fsync failure")
+	}
+	if st.JournalVetoes() != 1 {
+		t.Fatalf("vetoes = %d, want 1", st.JournalVetoes())
+	}
+	if err := st.JournalErr(); err == nil || !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("JournalErr = %v, want injected", err)
+	}
+	if err := m.Broken(); err != nil {
+		t.Fatalf("wal latched broken after a rolled-back append: %v", err)
+	}
+
+	// The failpoint is spent; the log must accept the next write.
+	if !st.Add(tr("a", "p", "c")) {
+		t.Fatal("add after recovery refused")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	m2, recovered := mustOpen(t, dir, nil)
+	defer m2.Close()
+	assertSameContent(t, st, recovered)
+	if recovered.Len() != 2 {
+		t.Fatalf("recovered %d triples, want 2 (vetoed write must not replay)", recovered.Len())
+	}
+}
+
+// TestTornAppendRollsBack: a write that lands only a prefix of the
+// record (power cut mid-write) is truncated away by rollback; the next
+// append reuses the sequence number and recovery sees a clean log.
+func TestTornAppendRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways })
+	st.Add(tr("a", "p", "b"))
+
+	armFaults(t, "wal/append-write=1*torn(7)->off")
+	if st.Add(tr("a", "p", "torn")) {
+		t.Fatal("add acked despite torn write")
+	}
+	if !st.Add(tr("a", "p", "c")) {
+		t.Fatal("add after rollback refused")
+	}
+	seqAfter := m.Stats().LastSeq
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	m2, recovered := mustOpen(t, dir, nil)
+	defer m2.Close()
+	assertSameContent(t, st, recovered)
+	if got := m2.Stats().LastSeq; got != seqAfter {
+		t.Fatalf("recovered at seq %d, want %d", got, seqAfter)
+	}
+}
+
+// TestRollbackFailureLatchesBroken is the double fault: the append
+// tears AND the truncate that would clean it up fails. The documented
+// degradation is read-only mode — every further write vetoed with
+// errWALBroken, Manager.Broken() non-nil (the endpoint's degraded-mode
+// trigger) — and a restart re-truncates the garbage and clears the
+// latch with only acked data surviving.
+func TestRollbackFailureLatchesBroken(t *testing.T) {
+	dir := t.TempDir()
+	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways })
+	st.Add(tr("a", "p", "b"))
+
+	armFaults(t, "wal/append-write=1*torn(7)->off;wal/rollback=1*error(io)->off")
+	if st.Add(tr("a", "p", "torn")) {
+		t.Fatal("add acked despite torn write")
+	}
+	if m.Broken() == nil {
+		t.Fatal("Broken() = nil after failed rollback")
+	}
+	// Degraded mode: reads fine, writes vetoed until restart.
+	if st.Add(tr("a", "p", "refused")) {
+		t.Fatal("broken wal acked a write")
+	}
+	if err := st.JournalErr(); !errors.Is(err, errWALBroken) {
+		t.Fatalf("JournalErr = %v, want errWALBroken", err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("degraded store has %d triples, want 1", st.Len())
+	}
+	m.Close()
+
+	// Restart: openSegmentForAppend truncates the 7 torn bytes, the
+	// latch is gone, and only the acked triple is back.
+	m2, recovered := mustOpen(t, dir, nil)
+	defer m2.Close()
+	if err := m2.Broken(); err != nil {
+		t.Fatalf("Broken() survived a restart: %v", err)
+	}
+	assertSameContent(t, st, recovered)
+	if !recovered.Add(tr("a", "p", "c")) {
+		t.Fatal("recovered wal refused a write")
+	}
+}
+
+// TestSnapshotWriteFailureKeepsOldGeneration: a failed checkpoint must
+// surface its error, leave the previous snapshot generation and the
+// full WAL in place, and a later checkpoint must succeed.
+func TestSnapshotWriteFailureKeepsOldGeneration(t *testing.T) {
+	dir := t.TempDir()
+	m, st := mustOpen(t, dir, nil)
+	st.AddAll(equivTriples(rand.New(rand.NewSource(1)), 10))
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snapsBefore, _ := listSnapshots(dir)
+	st.Add(tr("a", "p", "late"))
+
+	armFaults(t, "snapshot/write=1*error(enospc)->off")
+	if err := m.Checkpoint(); err == nil || !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Checkpoint error = %v, want injected", err)
+	}
+	snapsAfter, _ := listSnapshots(dir)
+	if len(snapsAfter) != len(snapsBefore) || snapsAfter[0] != snapsBefore[0] {
+		t.Fatalf("failed checkpoint changed snapshots: %v -> %v", snapsBefore, snapsAfter)
+	}
+
+	// The failpoint is spent; checkpointing resumes.
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after fault: %v", err)
+	}
+	m.Close()
+	m2, recovered := mustOpen(t, dir, nil)
+	defer m2.Close()
+	assertSameContent(t, st, recovered)
+}
+
+// TestTornRenameLeavesTmpRecoveryIgnores models a crash between the
+// temp file's fsync and its rename: the stray .tmp stays on disk,
+// recovery never confuses it for a snapshot, and the next successful
+// checkpoint sweeps it away.
+func TestTornRenameLeavesTmpRecoveryIgnores(t *testing.T) {
+	dir := t.TempDir()
+	m, st := mustOpen(t, dir, nil)
+	st.AddAll(equivTriples(rand.New(rand.NewSource(2)), 10))
+
+	armFaults(t, "fsx/rename=1*error(crash before rename)->off")
+	if err := m.Checkpoint(); err == nil || !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Checkpoint error = %v, want injected", err)
+	}
+	if n := countTmpFiles(t, dir); n != 1 {
+		t.Fatalf("%d stray .tmp files, want 1", n)
+	}
+	m.Close()
+
+	m2, recovered := mustOpen(t, dir, nil)
+	assertSameContent(t, st, recovered)
+	if err := m2.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after reopen: %v", err)
+	}
+	if n := countTmpFiles(t, dir); n != 0 {
+		t.Fatalf("%d stray .tmp files after cleanup, want 0", n)
+	}
+	m2.Close()
+}
+
+func countTmpFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCorruptSnapshotFallsBackAGeneration: when the newest snapshot is
+// unreadable at boot (colpack/open injected), recovery degrades to the
+// previous generation plus the retained WAL tail — cleanup prunes the
+// log against the OLDEST kept snapshot precisely so this costs nothing.
+// A 400-query corpus then proves the fallback store is indistinguishable
+// from the live one.
+func TestCorruptSnapshotFallsBackAGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	dir := t.TempDir()
+	m, st := mustOpen(t, dir, nil)
+	triples := equivTriples(rng, 20)
+	st.AddAll(triples[:10])
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st.AddAll(triples[10:])
+	for i := 0; i < 5; i++ {
+		st.Remove(triples[rng.Intn(len(triples))])
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st.AddAll(equivTriples(rng, 5))
+	m.Close()
+	if snaps, _ := listSnapshots(dir); len(snaps) < 2 {
+		t.Fatalf("want 2 snapshot generations on disk, have %d", len(snaps))
+	}
+
+	// One injected open failure hits the newest generation only.
+	armFaults(t, "colpack/open=1*error(bad magic)->off")
+	m2, recovered := mustOpen(t, dir, nil)
+	defer m2.Close()
+	// Hits counts every evaluation — the injected failure on the newest
+	// generation plus the quiet pass-through on the fallback.
+	if faults.Hits("colpack/open") < 2 {
+		t.Fatalf("colpack/open hit %d times, want >= 2 (fail newest, pass fallback)", faults.Hits("colpack/open"))
+	}
+	assertSameContent(t, st, recovered)
+
+	live, replayed := stsparql.New(st), stsparql.New(recovered)
+	for qi := 0; qi < 400; qi++ {
+		q := equivQuery(rng)
+		lres, lerr := live.Query(q)
+		rres, rerr := replayed.Query(q)
+		if (lerr == nil) != (rerr == nil) {
+			t.Fatalf("query %d error divergence: live=%v fallback=%v\n%s", qi, lerr, rerr, q)
+		}
+		if lerr != nil {
+			continue
+		}
+		l, r := canonResult(t, lres), canonResult(t, rres)
+		if len(l) != len(r) {
+			t.Fatalf("query %d: %d vs %d rows\n%s", qi, len(l), len(r), q)
+		}
+		for i := range l {
+			if l[i] != r[i] {
+				t.Fatalf("query %d row %d:\nlive     %s\nfallback %s\n%s", qi, i, l[i], r[i], q)
+			}
+		}
+	}
+}
+
+// TestSlowDiskIsSlowNotWrong: latency injection on the fsync path must
+// delay the ack without corrupting anything — the "slow disk" failure
+// mode degrades throughput, never correctness.
+func TestSlowDiskIsSlowNotWrong(t *testing.T) {
+	dir := t.TempDir()
+	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways })
+	armFaults(t, "wal/fsync=3*sleep(30ms)->off")
+
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if !st.Add(tr("a", "p", fmt.Sprintf("o%d", i))) {
+			t.Fatalf("slow add %d refused", i)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Fatalf("3 adds took %v, want >= 90ms of injected latency", elapsed)
+	}
+	if faults.Hits("wal/fsync") != 3 {
+		t.Fatalf("wal/fsync hit %d times, want 3", faults.Hits("wal/fsync"))
+	}
+	m.Close()
+	m2, recovered := mustOpen(t, dir, nil)
+	defer m2.Close()
+	assertSameContent(t, st, recovered)
+}

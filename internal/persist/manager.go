@@ -418,6 +418,20 @@ func (m *Manager) LogRemove(t rdf.Triple) (uint64, error) {
 // LogCompact implements strabon.Journal.
 func (m *Manager) LogCompact() (uint64, error) { return m.append(opCompact, nil) }
 
+// Broken reports the WAL's latched unrecoverable-append state: non-nil
+// means a failed append could not be rolled back, every further write
+// will be vetoed, and only a restart (whose recovery re-truncates the
+// segment) clears it. The endpoint's degraded read-only mode keys on
+// this — reads keep serving off the in-memory store, writes 503.
+func (m *Manager) Broken() error {
+	m.walMu.Lock()
+	defer m.walMu.Unlock()
+	if m.w.failed {
+		return errWALBroken
+	}
+	return nil
+}
+
 // SyncWAL forces buffered WAL bytes to stable storage (a no-op under
 // SyncAlways).
 func (m *Manager) SyncWAL() error {

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/colpack"
+	"repro/internal/faults"
 	"repro/internal/fsx"
 	"repro/internal/rdf"
 	"repro/internal/strabon"
@@ -186,6 +187,9 @@ func readColumn(r io.Reader, n uint64) ([]uint64, error) {
 // writeSnapshot atomically writes sn (covering WAL records through seq)
 // to dir in the requested format and returns the file path.
 func writeSnapshot(dir string, sn *strabon.Snapshot, seq uint64, format string) (string, error) {
+	if err := faults.Eval("snapshot/write"); err != nil {
+		return "", err
+	}
 	if format == FormatRaw {
 		return writeRawSnapshot(dir, sn, seq)
 	}

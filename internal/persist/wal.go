@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/fsx"
 )
 
@@ -132,6 +133,10 @@ var errWALBroken = fmt.Errorf("persist: wal broken by an earlier append failure;
 // neither replayed after its mutation was vetoed nor left in front of
 // the next record's bytes.
 func (w *wal) rollback() {
+	if ferr := faults.Eval("wal/rollback"); ferr != nil {
+		w.failed = true
+		return
+	}
 	if err := w.f.Truncate(w.segBytes); err != nil {
 		w.failed = true
 		return
@@ -200,6 +205,9 @@ func (w *wal) appendSeq(seq uint64, op byte, body []byte, sync bool) (int64, err
 	if w.failed {
 		return 0, errWALBroken
 	}
+	if ferr := faults.Eval("wal/append"); ferr != nil {
+		return 0, ferr
+	}
 	if seq != w.seq+1 {
 		return 0, fmt.Errorf("persist: wal append out of order: record %d after %d", seq, w.seq)
 	}
@@ -224,6 +232,15 @@ func (w *wal) appendSeq(seq uint64, op byte, body []byte, sync bool) (int64, err
 	payload := rec[8:]
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	if ferr := faults.Eval("wal/append-write"); ferr != nil {
+		if allow, ok := faults.AsTorn(ferr); ok && allow < len(rec) {
+			// Leave the torn prefix a power cut would, then recover the
+			// same way a real short write does.
+			w.f.Write(rec[:allow])
+		}
+		w.rollback()
+		return 0, ferr
+	}
 	if _, err := w.f.Write(rec); err != nil {
 		// The file may hold a partial record; truncate it back so the
 		// next append does not write after garbage.
@@ -231,6 +248,10 @@ func (w *wal) appendSeq(seq uint64, op byte, body []byte, sync bool) (int64, err
 		return 0, err
 	}
 	if sync {
+		if ferr := faults.Eval("wal/fsync"); ferr != nil {
+			w.rollback()
+			return 0, ferr
+		}
 		if err := w.f.Sync(); err != nil {
 			// The record is fully written but its mutation is about to
 			// be vetoed: it must not survive to be replayed, and the

@@ -1,0 +1,11 @@
+package replication
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain verifies no test leaves goroutines behind — tail loops,
+// router health loops and long-poll handlers must all unwind on Close.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/persist"
 )
 
@@ -232,6 +233,18 @@ func (p *Primary) handleTail(w http.ResponseWriter, r *http.Request) {
 	wrote := false
 	_, err = m.ReadWAL(from, batch, func(seq uint64, op byte, body []byte) error {
 		buf = persist.AppendRecord(buf[:0], seq, op, body)
+		if ferr := faults.Eval("primary/tail-serve"); ferr != nil {
+			if allow, ok := faults.AsTorn(ferr); ok && allow < len(buf) {
+				// Ship the torn record fragment a primary dying mid-send
+				// would, then cut the stream.
+				if !wrote {
+					wrote = true
+					w.WriteHeader(http.StatusOK)
+				}
+				w.Write(buf[:allow])
+			}
+			return ferr
+		}
 		if !wrote {
 			wrote = true
 			w.WriteHeader(http.StatusOK)

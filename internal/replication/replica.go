@@ -13,8 +13,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/fsx"
 	"repro/internal/persist"
+	"repro/internal/resilience"
 	"repro/internal/strabon"
 )
 
@@ -176,8 +178,37 @@ type replicaState struct {
 // bootstrap downloads the primary's newest snapshot into the (empty)
 // local directory. A 404 means the primary has never checkpointed; the
 // replica then starts empty and replays the full WAL via the tail.
+// Transient fetch failures retry with jittered backoff before giving
+// up: bootstrap runs at process start and after a 410, both moments
+// when the primary may be briefly unreachable.
 func (r *Replica) bootstrap(ctx context.Context) error {
 	if err := os.MkdirAll(r.opts.Dir, 0o755); err != nil {
+		return err
+	}
+	bo := resilience.Backoff{Min: r.opts.RetryMin, Max: r.opts.RetryMax, Jitter: 0.5}
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(bo.Delay(attempt - 1)):
+			}
+		}
+		if err = r.fetchSnapshot(ctx); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		r.opts.Logf("replication: snapshot fetch attempt %d: %v", attempt+1, err)
+	}
+	return err
+}
+
+// fetchSnapshot performs one snapshot download, verify included.
+func (r *Replica) fetchSnapshot(ctx context.Context) error {
+	if err := faults.Eval("replica/fetch-snapshot"); err != nil {
 		return err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opts.Primary+"/replication/v1/snapshot", nil)
@@ -225,7 +256,11 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 // our cursor) wipes the directory and re-bootstraps.
 func (r *Replica) tailLoop(ctx context.Context) {
 	defer r.wg.Done()
-	backoff := r.opts.RetryMin
+	// Jittered backoff: when a primary restarts under a fleet of
+	// replicas, pure exponential delays would reconnect them all in
+	// lockstep; the jitter spreads the stampede.
+	bo := resilience.Backoff{Min: r.opts.RetryMin, Max: r.opts.RetryMax, Jitter: 0.5}
+	attempt := 0
 	for ctx.Err() == nil {
 		applied, err := r.tailOnce(ctx)
 		if ctx.Err() != nil {
@@ -233,7 +268,7 @@ func (r *Replica) tailLoop(ctx context.Context) {
 		}
 		switch {
 		case err == nil:
-			backoff = r.opts.RetryMin
+			attempt = 0
 			continue // long-poll pacing happens server-side
 		case errors.Is(err, errRebootstrap):
 			r.opts.Logf("replication: primary pruned past our cursor; re-bootstrapping")
@@ -242,25 +277,22 @@ func (r *Replica) tailLoop(ctx context.Context) {
 				r.opts.Logf("replication: re-bootstrap failed: %v", rbErr)
 			} else {
 				r.rebootstraps.Add(1)
-				backoff = r.opts.RetryMin
+				attempt = 0
 				continue
 			}
 		default:
 			r.setErr(err)
 			r.reconnects.Add(1)
 			if applied > 0 {
-				backoff = r.opts.RetryMin // progress was made; retry promptly
+				attempt = 0 // progress was made; retry promptly
 			}
 		}
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(backoff):
+		case <-time.After(bo.Delay(attempt)):
 		}
-		backoff *= 2
-		if backoff > r.opts.RetryMax {
-			backoff = r.opts.RetryMax
-		}
+		attempt++
 	}
 }
 
@@ -274,6 +306,9 @@ var errRebootstrap = errors.New("replication: tail returned 410 Gone")
 // was applied, so the next request resumes exactly past the last good
 // record.
 func (r *Replica) tailOnce(ctx context.Context) (int, error) {
+	if err := faults.Eval("replica/tail"); err != nil {
+		return 0, err
+	}
 	mgr := r.state.Load().mgr
 	from := mgr.LastSeq()
 	url := fmt.Sprintf("%s/replication/v1/tail?from=%d&wait=%s", r.opts.Primary, from, r.opts.PollWait)

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/stsparql"
 )
 
@@ -44,6 +45,11 @@ type RouterOptions struct {
 	// FailAfter ejects a replica after this many consecutive failed
 	// health checks (default 2); one success readmits it.
 	FailAfter int
+	// BreakerOpenFor holds an ejected backend out for at least this
+	// long even if its health checks recover sooner — damping for
+	// backends that flap. 0 (the default) readmits on the first
+	// successful check, the historical behavior.
+	BreakerOpenFor time.Duration
 	// Client is used for health checks (proxying uses its Transport;
 	// default http.DefaultTransport).
 	Client *http.Client
@@ -59,12 +65,20 @@ type backend struct {
 	// transport).
 	proxy *httputil.ReverseProxy
 
-	healthy    atomic.Bool
+	// brk is the backend's circuit breaker, driven by the health loop:
+	// FailAfter consecutive failed checks trip it (ejecting the backend
+	// from routing), successful checks are the half-open probes that
+	// readmit it. Routing admits only a Closed breaker — while the
+	// backend is down the state oscillates open/half-open as each
+	// probe fails, and none of those states serve traffic.
+	brk        resilience.Breaker
 	appliedSeq atomic.Uint64
-	fails      atomic.Int32 // consecutive health-check failures
 	requests   atomic.Uint64
 	errors     atomic.Uint64
 }
+
+// ok reports whether routing may use this backend.
+func (b *backend) ok() bool { return b.brk.State() == resilience.Closed }
 
 // Router proxies /sparql across a primary and a set of replicas.
 //
@@ -128,6 +142,8 @@ func NewRouter(o RouterOptions) (*Router, error) {
 	if rt.primary, err = newBackend(o.Primary, o.Client); err != nil {
 		return nil, err
 	}
+	rt.primary.brk.FailAfter = o.FailAfter
+	rt.primary.brk.OpenFor = o.BreakerOpenFor
 	seen := map[string]bool{}
 	for _, raw := range o.Replicas {
 		if raw == "" || seen[raw] {
@@ -138,6 +154,8 @@ func NewRouter(o RouterOptions) (*Router, error) {
 		if err != nil {
 			return nil, err
 		}
+		b.brk.FailAfter = o.FailAfter
+		b.brk.OpenFor = o.BreakerOpenFor
 		rt.replicas = append(rt.replicas, b)
 		for v := 0; v < o.Vnodes; v++ {
 			rt.ring = append(rt.ring, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", b.name, v)), b: b})
@@ -163,7 +181,7 @@ func newBackend(raw string, client *http.Client) (*backend, error) {
 	}
 	// Swallow the default panic-ish logging; errors surface through the
 	// retry path's ErrorHandler set per request.
-	b.healthy.Store(true) // optimistic until the first health check
+	// The breaker starts Closed: optimistic until the first check.
 	return b, nil
 }
 
@@ -251,18 +269,19 @@ func (rt *Router) checkOne(b *backend) {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
+	before := b.brk.State()
 	if ok {
-		if b.fails.Swap(0) >= int32(rt.opts.FailAfter) {
-			rt.opts.Logf("replication: router readmitting %s", b.name)
+		b.brk.Success()
+		if before != resilience.Closed && b.brk.State() == resilience.Closed {
+			rt.opts.Logf("replication: router readmitting %s (breaker closed)", b.name)
 		}
-		b.healthy.Store(true)
 		return
 	}
-	if n := b.fails.Add(1); n == int32(rt.opts.FailAfter) {
-		rt.opts.Logf("replication: router ejecting %s after %d failed checks (%v)", b.name, n, err)
-	}
-	if b.fails.Load() >= int32(rt.opts.FailAfter) {
-		b.healthy.Store(false)
+	trips := b.brk.Trips()
+	b.brk.Failure()
+	if b.brk.Trips() != trips {
+		rt.opts.Logf("replication: router ejecting %s after %d failed checks (breaker open; %v)",
+			b.name, rt.opts.FailAfter, err)
 	}
 }
 
@@ -295,7 +314,7 @@ func (rt *Router) owners(key string, minSeq uint64) []*backend {
 			continue
 		}
 		seen[b] = true
-		if !b.healthy.Load() {
+		if !b.ok() {
 			continue
 		}
 		if minSeq > 0 && b.appliedSeq.Load() < minSeq {
@@ -382,7 +401,7 @@ func (rt *Router) handleSparql(w http.ResponseWriter, r *http.Request) {
 		// at its own watermark. Only an unhealthy primary turns this
 		// into a 503.
 		rt.fallthroughs.Add(1)
-		if !rt.primary.healthy.Load() {
+		if !rt.primary.ok() {
 			rt.unavailable.Add(1)
 			http.Error(w, "no backend can satisfy this read", http.StatusServiceUnavailable)
 			return
@@ -406,7 +425,7 @@ func (rt *Router) handleSparql(w http.ResponseWriter, r *http.Request) {
 	// Every candidate failed at the transport level; last resort is the
 	// primary, mirroring the empty-candidate path.
 	rt.fallthroughs.Add(1)
-	if rt.primary.healthy.Load() {
+	if rt.primary.ok() {
 		r.Body = io.NopCloser(strings.NewReader(string(body)))
 		if rt.proxyTo(rt.primary, w, r, body) {
 			return
@@ -459,14 +478,20 @@ func (p *proxyWriter) Write(b []byte) (int, error) {
 }
 
 // RouterBackendStats is one backend's row in the router's /stats.
+// Healthy is shorthand for Breaker == "closed"; Breaker/BreakerTrips
+// expose the circuit state machine itself so operators (and
+// scripts/replicatest.sh) can assert ejection happened via the breaker
+// rather than inferring it.
 type RouterBackendStats struct {
-	URL        string `json:"url"`
-	Role       string `json:"role"`
-	Healthy    bool   `json:"healthy"`
-	AppliedSeq uint64 `json:"applied_seq"`
-	Lag        uint64 `json:"lag"`
-	Requests   uint64 `json:"requests"`
-	Errors     uint64 `json:"errors"`
+	URL          string `json:"url"`
+	Role         string `json:"role"`
+	Healthy      bool   `json:"healthy"`
+	Breaker      string `json:"breaker"`
+	BreakerTrips uint64 `json:"breaker_trips"`
+	AppliedSeq   uint64 `json:"applied_seq"`
+	Lag          uint64 `json:"lag"`
+	Requests     uint64 `json:"requests"`
+	Errors       uint64 `json:"errors"`
 }
 
 // RouterStats is the router's /stats document.
@@ -505,12 +530,14 @@ func (rt *Router) Stats() RouterStats {
 			role = "primary"
 		}
 		row := RouterBackendStats{
-			URL:        b.name,
-			Role:       role,
-			Healthy:    b.healthy.Load(),
-			AppliedSeq: b.appliedSeq.Load(),
-			Requests:   b.requests.Load(),
-			Errors:     b.errors.Load(),
+			URL:          b.name,
+			Role:         role,
+			Healthy:      b.ok(),
+			Breaker:      b.brk.State().String(),
+			BreakerTrips: b.brk.Trips(),
+			AppliedSeq:   b.appliedSeq.Load(),
+			Requests:     b.requests.Load(),
+			Errors:       b.errors.Load(),
 		}
 		if top > row.AppliedSeq {
 			row.Lag = top - row.AppliedSeq
@@ -530,13 +557,13 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 	healthyReplicas := 0
 	for _, b := range rt.replicas {
-		if b.healthy.Load() {
+		if b.ok() {
 			healthyReplicas++
 		}
 	}
-	if rt.primary.healthy.Load() || healthyReplicas > 0 {
+	if rt.primary.ok() || healthyReplicas > 0 {
 		fmt.Fprintf(w, "ok: primary_healthy=%v replicas_healthy=%d/%d\n",
-			rt.primary.healthy.Load(), healthyReplicas, len(rt.replicas))
+			rt.primary.ok(), healthyReplicas, len(rt.replicas))
 		return
 	}
 	http.Error(w, "no healthy backends", http.StatusServiceUnavailable)

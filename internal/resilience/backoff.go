@@ -1,0 +1,69 @@
+// Package resilience provides the small, reusable primitives a server
+// needs to stay up under partial failure and overload: jittered
+// exponential backoff, token-bucket rate limiting (global and
+// per-client), and a circuit breaker with half-open probing. All
+// three take injectable clocks/randomness so their behavior is
+// deterministic under test.
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays. The zero value
+// is unusable; fill in Min and Max. Delay(0) is the first retry.
+type Backoff struct {
+	Min    time.Duration // first delay (required)
+	Max    time.Duration // cap (required)
+	Factor float64       // growth per attempt; default 2
+	// Jitter in [0,1] randomizes each delay downward: the returned
+	// delay is uniform in [d*(1-Jitter), d]. 0 disables jitter.
+	Jitter float64
+	// Rand returns a float64 in [0,1); defaults to a shared
+	// locked source. Inject for deterministic tests.
+	Rand func() float64
+}
+
+var (
+	randMu     sync.Mutex
+	sharedRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func lockedFloat() float64 {
+	randMu.Lock()
+	defer randMu.Unlock()
+	return sharedRand.Float64()
+}
+
+// Delay returns the delay before retry number attempt (0-based),
+// exponentially grown from Min, capped at Max, with jitter applied.
+func (b Backoff) Delay(attempt int) time.Duration {
+	factor := b.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	d := float64(b.Min)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		rnd := b.Rand
+		if rnd == nil {
+			rnd = lockedFloat
+		}
+		d *= 1 - b.Jitter*rnd()
+	}
+	if d < float64(b.Min) && b.Jitter == 0 {
+		d = float64(b.Min)
+	}
+	return time.Duration(d)
+}

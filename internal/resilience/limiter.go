@@ -1,0 +1,155 @@
+package resilience
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic token-bucket rate limiter: capacity Burst,
+// refilled at Rate tokens per second. Take either consumes a token or
+// reports how long the caller should wait before retrying.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket builds a full bucket. rate must be > 0; burst < 1 is
+// raised to 1 so a full bucket always admits at least one request.
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	tb := &TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: time.Now}
+	tb.last = tb.now()
+	return tb
+}
+
+// SetClock injects a clock for deterministic tests. Call before use.
+func (tb *TokenBucket) SetClock(now func() time.Time) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.now = now
+	tb.last = now()
+}
+
+// Take consumes one token if available. When the bucket is empty it
+// returns ok=false and the duration until a token will be available.
+func (tb *TokenBucket) Take() (ok bool, retryAfter time.Duration) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.takeLocked()
+}
+
+func (tb *TokenBucket) takeLocked() (bool, time.Duration) {
+	now := tb.now()
+	if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+		tb.tokens = math.Min(tb.burst, tb.tokens+dt*tb.rate)
+	}
+	tb.last = now
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	need := (1 - tb.tokens) / tb.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+type keyedBucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+	elem   *list.Element
+}
+
+// PerKey maintains an independent token bucket per client key with
+// LRU eviction so a spoofed key space cannot grow memory without
+// bound. The zero value is unusable; use NewPerKey.
+type PerKey struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	maxKeys int
+	buckets map[string]*keyedBucket
+	lru     *list.List // front = most recent
+	now     func() time.Time
+	evicted uint64
+}
+
+// NewPerKey builds a per-key limiter: each key gets a bucket of
+// capacity burst refilled at rate tokens/second; at most maxKeys
+// buckets are retained (least recently used evicted first).
+func NewPerKey(rate float64, burst, maxKeys int) *PerKey {
+	if burst < 1 {
+		burst = 1
+	}
+	if maxKeys < 1 {
+		maxKeys = 1
+	}
+	return &PerKey{
+		rate:    rate,
+		burst:   float64(burst),
+		maxKeys: maxKeys,
+		buckets: make(map[string]*keyedBucket),
+		lru:     list.New(),
+		now:     time.Now,
+	}
+}
+
+// SetClock injects a clock for deterministic tests. Call before use.
+func (p *PerKey) SetClock(now func() time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.now = now
+}
+
+// Take consumes one token from key's bucket, creating it (full) on
+// first sight. Returns ok=false plus a retry hint when exhausted.
+func (p *PerKey) Take(key string) (ok bool, retryAfter time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	b := p.buckets[key]
+	if b == nil {
+		b = &keyedBucket{key: key, tokens: p.burst, last: now}
+		p.buckets[key] = b
+		b.elem = p.lru.PushFront(b)
+		if len(p.buckets) > p.maxKeys {
+			oldest := p.lru.Back().Value.(*keyedBucket)
+			p.lru.Remove(oldest.elem)
+			delete(p.buckets, oldest.key)
+			p.evicted++
+		}
+	} else {
+		p.lru.MoveToFront(b.elem)
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(p.burst, b.tokens+dt*p.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / p.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// Len reports how many client buckets are currently retained.
+func (p *PerKey) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buckets)
+}
+
+// Evicted reports how many buckets the LRU bound has discarded.
+func (p *PerKey) Evicted() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evicted
+}

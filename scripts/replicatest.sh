@@ -184,6 +184,14 @@ done
 curl -fsS "$RTR/stats" | jq -e --arg u "$REP1" \
     '.backends[] | select(.url == $u) | .healthy | not' >/dev/null \
     || fail "router never ejected the killed replica"
+# The ejection is the circuit breaker tripping: the backend's breaker
+# must have left the closed state and recorded at least one trip. (With
+# no hold-out configured the state oscillates open/half-open as each
+# probe fails, so assert on "not closed" + the trip counter, not on a
+# single state value.)
+curl -fsS "$RTR/stats" | jq -e --arg u "$REP1" \
+    '.backends[] | select(.url == $u) | (.breaker != "closed") and (.breaker_trips >= 1)' \
+    | grep -q true || fail "killed replica's breaker never tripped: $(curl -fsS "$RTR/stats" | jq -c '.backends')"
 # ...while reads keep working.
 curl -fsS --data-urlencode 'query=SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }' \
     "$RTR/sparql?format=csv" >/dev/null || fail "reads failed during ejection"
@@ -209,6 +217,10 @@ done
 curl -fsS "$RTR/stats" | jq -e --arg u "$REP1" \
     '.backends[] | select(.url == $u) | .healthy' >/dev/null \
     || fail "router never readmitted the restarted replica"
+# Readmission closes the breaker again; the trip count keeps its history.
+curl -fsS "$RTR/stats" | jq -e --arg u "$REP1" \
+    '.backends[] | select(.url == $u) | (.breaker == "closed") and (.breaker_trips >= 1)' \
+    | grep -q true || fail "readmitted replica's breaker not closed: $(curl -fsS "$RTR/stats" | jq -c '.backends')"
 # Zero acked-write loss: every insert must be on the restarted replica.
 ROWS=$(curl -fsS --data-urlencode \
     'query=SELECT ?s WHERE { ?s <http://repl.test/p> ?o }' \
