@@ -20,9 +20,9 @@ BENCH_ARRAY = BenchmarkConvolve2D|BenchmarkResampleBilinear|BenchmarkTileAvg|Ben
 BENCH_PERSIST = BenchmarkWALAppend|BenchmarkWALAppendBatch|BenchmarkWALAppendSynced|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad|BenchmarkSnapshotScanCold|BenchmarkNTriplesLoad|BenchmarkRecoveryReplay
 BENCH_REPL = BenchmarkTailApply|BenchmarkReplicaBootstrap
 
-.PHONY: all build test race vet bench bench-json equivalence crash-test replica-test fault-test clean
+.PHONY: all build test race vet lint gen-registry bench bench-json equivalence crash-test replica-test fault-test clean
 
-all: vet build test
+all: vet lint build test
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,23 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/endpoint/ ./internal/strabon/ ./internal/stsparql/ ./internal/sciql/ ./internal/array/ ./internal/parallel/ ./internal/persist/ ./internal/replication/
+	$(GO) test -race ./internal/endpoint/ ./internal/strabon/ ./internal/stsparql/ ./internal/sciql/ ./internal/array/ ./internal/parallel/ ./internal/persist/ ./internal/replication/ ./internal/colpack/ ./internal/resilience/ ./internal/faults/ ./internal/vault/
+
+# lint builds teleios-vet (the project-invariant analyzer suite in
+# internal/lint: lockcheck, fsxcheck, ctxcheck, failpointcheck,
+# errdropcheck — see docs/static-analysis.md) and runs it twice: via
+# `go vet -vettool` so per-package results land in the build cache, and
+# standalone over ./... for the whole-program failpoint orphan check.
+lint:
+	$(GO) build -o bin/teleios-vet ./cmd/teleios-vet
+	$(GO) vet -vettool=$(CURDIR)/bin/teleios-vet ./...
+	./bin/teleios-vet ./...
+
+# gen-registry regenerates internal/faults/registry.go from the
+# failpoint matrix in docs/operations.md (the single source of truth
+# failpointcheck validates plants against).
+gen-registry:
+	$(GO) generate ./internal/faults
 
 # crash-test SIGKILLs a loaded teleios-server mid-write and asserts the
 # durable data dir recovers every acknowledged update.

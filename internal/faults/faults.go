@@ -41,6 +41,8 @@
 // start: "name=spec;name2=spec2".
 package faults
 
+//go:generate go run repro/internal/lint/genregistry
+
 import (
 	"errors"
 	"fmt"

@@ -1,0 +1,42 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/lint/failpointdoc"
+)
+
+// TestRegistryMatchesDocs pins the generated Registry to the failpoint
+// matrix in docs/operations.md. If this fails, someone edited one side
+// without the other: run `go generate ./internal/faults`.
+func TestRegistryMatchesDocs(t *testing.T) {
+	entries, err := failpointdoc.ParseMatrix("../../docs/operations.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(Registry) {
+		t.Errorf("docs matrix has %d failpoints, Registry has %d; run `go generate ./internal/faults`",
+			len(entries), len(Registry))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if seen[e.Name] {
+			t.Errorf("failpoint %q documented twice in docs/operations.md", e.Name)
+		}
+		seen[e.Name] = true
+		site, ok := Registry[e.Name]
+		if !ok {
+			t.Errorf("failpoint %q documented but missing from Registry; run `go generate ./internal/faults`", e.Name)
+			continue
+		}
+		if site != e.Site {
+			t.Errorf("failpoint %q: Registry site %q != documented site %q; run `go generate ./internal/faults`",
+				e.Name, site, e.Site)
+		}
+	}
+	for name := range Registry {
+		if !seen[name] {
+			t.Errorf("failpoint %q registered but absent from docs/operations.md's matrix", name)
+		}
+	}
+}

@@ -30,7 +30,7 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	keepTmp := false
 	defer func() {
 		if err != nil {
-			f.Close()
+			f.Close() //lint:allow errdropcheck(cleanup after a failure already being returned; the close error would mask the root cause)
 			if !keepTmp {
 				os.Remove(tmp)
 			}
@@ -71,6 +71,9 @@ func SyncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
-	return d.Sync()
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxPackages are the query-execution packages where an unresponsive
+// loop orphans a cancelled request: the stSPARQL executor, the SciQL
+// executor, and the tile-parallel array kernels (PR 5 threaded
+// context.Context end-to-end through all three).
+var ctxPackages = []string{
+	"repro/internal/stsparql",
+	"repro/internal/sciql",
+	"repro/internal/array",
+}
+
+// Ctxcheck enforces PR 5's cancellation discipline in the executor
+// packages:
+//
+//  1. a function that accepts a context.Context must actually use it —
+//     check ctx.Err()/ctx.Done(), pass it on, or store it for the
+//     operators to poll; a parameter that is merely accepted silently
+//     breaks every caller's deadline, and
+//  2. an unbounded loop (for {...}) in a function that has a context
+//     in scope — as a parameter or a receiver field — must reference
+//     it somewhere in the loop body, so a row/morsel pump cannot spin
+//     past cancellation.
+var Ctxcheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc: "executor entry points that accept a context.Context must propagate or " +
+		"poll it, and unbounded loops with a ctx in scope must check it in the " +
+		"loop body (cancellation responsiveness, PR 5)",
+	Run: runCtxcheck,
+}
+
+func runCtxcheck(pass *Pass) error {
+	if !pathIn(pass.Pkg.Path(), ctxPackages...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxParams(pass, fd)
+			checkUnboundedLoops(pass, fd)
+		}
+	}
+	return nil
+}
+
+// ctxParams returns the objects of fd's context.Context parameters.
+func ctxParams(pass *Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// checkCtxParams flags context parameters that are never used — or
+// only ever discarded into the blank identifier.
+func checkCtxParams(pass *Pass, fd *ast.FuncDecl) {
+	for _, obj := range ctxParams(pass, fd) {
+		used := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if used {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if ok && pass.Info.Uses[id] == obj && !isBlankDiscard(fd.Body, id) {
+				used = true
+			}
+			return true
+		})
+		if !used {
+			pass.Reportf(fd.Name.Pos(), "%s accepts ctx but never checks or propagates it; callers' deadlines and cancellations are silently dropped",
+				fd.Name.Name)
+		}
+	}
+}
+
+// isBlankDiscard reports whether id appears only as the RHS of an
+// `_ = ctx` assignment (a lint-silencing discard, not a real use).
+func isBlankDiscard(body *ast.BlockStmt, id *ast.Ident) bool {
+	discard := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || lhs.Name != "_" {
+			return true
+		}
+		if as.Rhs[0] == ast.Expr(id) {
+			discard = true
+			return false
+		}
+		return true
+	})
+	return discard
+}
+
+// checkUnboundedLoops flags `for { ... }` loops that never look at a
+// reachable context. A context is reachable as a parameter object or
+// as a context.Context field on the receiver (the vexec pattern:
+// v.ctx).
+func checkUnboundedLoops(pass *Pass, fd *ast.FuncDecl) {
+	params := ctxParams(pass, fd)
+	recvName := receiverName(fd)
+	hasRecvCtx := recvName != "" && receiverHasCtxField(pass, fd)
+	if len(params) == 0 && !hasRecvCtx {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if loopChecksCtx(pass, loop.Body, params, recvName, hasRecvCtx) {
+			return true
+		}
+		pass.Reportf(loop.Pos(), "unbounded loop in %s never checks the in-scope context; poll ctx.Err() (or select on ctx.Done()) at iteration boundaries",
+			fd.Name.Name)
+		return true
+	})
+}
+
+// receiverHasCtxField reports whether fd's receiver struct has a
+// context.Context field.
+func receiverHasCtxField(pass *Pass, fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := pass.Info.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// loopChecksCtx reports whether body references a context parameter or
+// a receiver ctx field.
+func loopChecksCtx(pass *Pass, body *ast.BlockStmt, params []types.Object, recvName string, hasRecvCtx bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			for _, p := range params {
+				if obj == p {
+					found = true
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if hasRecvCtx {
+				if base, ok := ast.Unparen(x.X).(*ast.Ident); ok && base.Name == recvName && isContextType(pass.Info.TypeOf(x)) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+func f() {
+	//lint:allow lockcheck()
+	//lint:allow nosuch(the analyzer does not exist)
+	//lint:allow fsxcheck(legacy append-only segment)
+	//lint:allowbogus
+}
+`
+
+func parseDirectives(t *testing.T) (directiveIndex, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := directiveIndex{}
+	var diags []Diagnostic
+	known := map[string]bool{"lockcheck": true, "fsxcheck": true}
+	di.addFile(fset, f, known, func(d Diagnostic) { diags = append(diags, d) })
+	return di, diags
+}
+
+func TestDirectiveMalformed(t *testing.T) {
+	_, diags := parseDirectives(t)
+	wantSubstr := map[int]string{
+		4: "needs a reason",
+		5: `unknown analyzer "nosuch"`,
+		7: "malformed directive",
+	}
+	if len(diags) != len(wantSubstr) {
+		t.Fatalf("got %d directive diagnostics, want %d: %v", len(diags), len(wantSubstr), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "lintdirective" {
+			t.Errorf("line %d: analyzer %q, want lintdirective", d.Position.Line, d.Analyzer)
+		}
+		substr, ok := wantSubstr[d.Position.Line]
+		if !ok {
+			t.Errorf("unexpected diagnostic at line %d: %s", d.Position.Line, d.Message)
+			continue
+		}
+		if !strings.Contains(d.Message, substr) {
+			t.Errorf("line %d: message %q does not contain %q", d.Position.Line, d.Message, substr)
+		}
+	}
+}
+
+func TestDirectiveCoverage(t *testing.T) {
+	di, _ := parseDirectives(t)
+	diag := func(analyzer string, line int) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Position: token.Position{Filename: "p.go", Line: line}}
+	}
+	cases := []struct {
+		d    Diagnostic
+		want bool
+	}{
+		{diag("fsxcheck", 6), true},  // same line as the directive
+		{diag("fsxcheck", 7), true},  // line immediately below
+		{diag("fsxcheck", 8), false}, // two lines below: out of range
+		{diag("lockcheck", 6), false},
+		{diag("fsxcheck", 4), false}, // the reasonless directive indexes nothing
+	}
+	for _, c := range cases {
+		if got := di.covers(c.d); got != c.want {
+			t.Errorf("covers(%s@%d) = %v, want %v", c.d.Analyzer, c.d.Position.Line, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errdropPackages are the packages where a silently dropped error from
+// a durability call turns into acknowledged-write loss: the WAL and
+// snapshot engine, the packed format writer, the fsx primitives, the
+// store's legacy save path, replication's installs, and the raster and
+// vault repositories.
+var errdropPackages = []string{
+	"repro/internal/persist",
+	"repro/internal/colpack",
+	"repro/internal/fsx",
+	"repro/internal/strabon",
+	"repro/internal/replication",
+	"repro/internal/raster",
+	"repro/internal/vault",
+}
+
+// alwaysFlagged are method names whose dropped error is flagged
+// unconditionally in the durability packages: a failed Sync/Flush
+// means the bytes may not be on disk, and a failed journal
+// Append/AppendRecord means the WAL lost a record.
+var alwaysFlagged = map[string]bool{
+	"Sync":         true,
+	"Flush":        true,
+	"Append":       true,
+	"AppendRecord": true,
+}
+
+// writeSet marks a receiver as being on a write path: if any of these
+// methods is called on it anywhere in the enclosing function, dropping
+// its Close error is flagged too (the close is what surfaces deferred
+// write-back failures).
+var writeSet = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true, "ReadFrom": true,
+	"Sync": true, "Truncate": true, "Flush": true, "Append": true,
+	"AppendRecord": true,
+}
+
+// Errdropcheck tightens go vet's unusedresult for the durability
+// packages (PR 4): errors from Sync, Flush, and journal Append must
+// never be dropped — not as a bare statement, not deferred, and not
+// assigned to the blank identifier — and Close errors must be handled
+// on write paths. A Close dropped immediately before returning an
+// already-failed error (the cleanup idiom) is exempt; other deliberate
+// drops carry a //lint:allow errdropcheck(reason) directive.
+var Errdropcheck = &Analyzer{
+	Name: "errdropcheck",
+	Doc: "dropped error returns from Sync/Flush/Append/AppendRecord (always) and " +
+		"from Close on write paths (receiver also written/synced in the same " +
+		"function) in durability-critical packages; the cleanup idiom " +
+		"`f.Close(); return err` is exempt",
+	Run: runErrdropcheck,
+}
+
+func runErrdropcheck(pass *Pass) error {
+	if !pathIn(pass.Pkg.Path(), errdropPackages...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncDrops(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFuncDrops analyzes one function: first collect, per receiver
+// expression, every method name called on it (the write-path
+// evidence), then flag dropped durability errors.
+func checkFuncDrops(pass *Pass, fd *ast.FuncDecl) {
+	written := map[string]bool{} // receiver expr string -> write-path
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if writeSet[sel.Sel.Name] {
+			written[types.ExprString(sel.X)] = true
+		}
+		return true
+	})
+
+	inspectBlock := func(list []ast.Stmt) {
+		for i, st := range list {
+			switch s := st.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, written, followedByErrReturn(pass, list, i))
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, s.Call, written, false)
+			case *ast.GoStmt:
+				checkDroppedCall(pass, s.Call, written, false)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, s, written)
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			inspectBlock(b.List)
+		case *ast.CaseClause:
+			inspectBlock(b.Body)
+		case *ast.CommClause:
+			inspectBlock(b.Body)
+		}
+		return true
+	})
+}
+
+// followedByErrReturn reports whether the statement after index i in
+// list is a return whose results include an error-typed expression —
+// the `f.Close(); return ..., err` cleanup idiom on an already-failing
+// path, where the close error would mask the root cause.
+func followedByErrReturn(pass *Pass, list []ast.Stmt, i int) bool {
+	if i+1 >= len(list) {
+		return false
+	}
+	ret, ok := list[i+1].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, res := range ret.Results {
+		t := pass.Info.TypeOf(res)
+		if t == nil {
+			continue
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			// `return err` forwards a real failure; `return nil` does not.
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// checkDroppedCall flags a statement-position call (plain, deferred,
+// or go'd) that discards a durability error.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr, written map[string]bool, cleanupBeforeErrReturn bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Type().(*types.Signature).Recv() == nil || !lastResultIsError(fn) {
+		return
+	}
+	name := fn.Name()
+	recv := recvRoot(call)
+	switch {
+	case alwaysFlagged[name]:
+		pass.Reportf(call.Pos(), "%s.%s error dropped; a failed %s on a durability path can lose acknowledged writes — handle it or annotate //lint:allow errdropcheck(reason)",
+			recv, name, name)
+	case name == "Close" && written[recv]:
+		if cleanupBeforeErrReturn {
+			return // cleanup on an already-failing path
+		}
+		pass.Reportf(call.Pos(), "%s.Close error dropped on a write path (%s is written/synced in this function); Close is where write-back failures surface — handle it or annotate //lint:allow errdropcheck(reason)",
+			recv, recv)
+	}
+}
+
+// checkBlankAssign flags `_ = f.Sync()` style discards, including a
+// blank in the error slot of a multi-assign from a durability call.
+func checkBlankAssign(pass *Pass, as *ast.AssignStmt, written map[string]bool) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Type().(*types.Signature).Recv() == nil || !lastResultIsError(fn) {
+		return
+	}
+	name := fn.Name()
+	recv := recvRoot(call)
+	interesting := alwaysFlagged[name] || (name == "Close" && written[recv])
+	if !interesting {
+		return
+	}
+	// The error is the final result, so the final LHS is its slot.
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	pass.Reportf(as.Pos(), "%s.%s error discarded into _; durability failures must be handled or annotated //lint:allow errdropcheck(reason)",
+		recv, name)
+}

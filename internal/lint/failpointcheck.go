@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/faults"
+)
+
+// Failpointcheck keeps the failpoint matrix honest in both directions
+// (PR 8): every faults.Eval plant must name a string literal that is
+// registered in the generated faults.Registry (which is itself
+// generated from docs/operations.md's matrix), and — in whole-program
+// mode — every registered name must be planted somewhere. An unknown
+// name means an undocumented failpoint; an orphaned registration means
+// documentation for a plant that no longer exists. Both fail the lint
+// gate.
+var Failpointcheck = &Analyzer{
+	Name: "failpointcheck",
+	Doc: "faults.Eval sites must use a string literal registered in the generated " +
+		"faults.Registry (regenerate with `go generate ./internal/faults` after " +
+		"editing docs/operations.md); whole-program runs also flag registered " +
+		"names that are planted nowhere",
+	Run:    runFailpointcheck,
+	Finish: finishFailpointcheck,
+}
+
+const plantedFactKey = "failpointcheck.planted"
+
+func plantedSet(prog *Program) map[string][]token.Position {
+	return prog.Fact(plantedFactKey, func() any { return map[string][]token.Position{} }).(map[string][]token.Position)
+}
+
+func runFailpointcheck(pass *Pass) error {
+	planted := plantedSet(pass.Program)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Name() != "Eval" || !strings.HasSuffix(funcPkgPath(fn), "internal/faults") {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				pass.Reportf(call.Args[0].Pos(), "faults.Eval argument must be a string literal so the registry check can see it; dynamic names defeat the docs/operations.md matrix")
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if _, ok := faults.Registry[name]; !ok {
+				pass.Reportf(lit.Pos(), "failpoint %q is not in faults.Registry; document it in docs/operations.md's matrix and run `go generate ./internal/faults`",
+					name)
+				return true
+			}
+			planted[name] = append(planted[name], pass.Fset.Position(lit.Pos()))
+			return true
+		})
+	}
+	return nil
+}
+
+// finishFailpointcheck reports registered-but-unplanted names once the
+// whole program has been scanned.
+func finishFailpointcheck(prog *Program, report func(pos token.Position, format string, args ...any)) {
+	planted := plantedSet(prog)
+	for _, name := range registryNames() {
+		if len(planted[name]) == 0 {
+			report(token.Position{Filename: "internal/faults/registry.go"},
+				"failpoint %q is registered (documented in docs/operations.md) but planted nowhere; remove the matrix row and regenerate, or restore the faults.Eval site", name)
+		}
+	}
+}
+
+func registryNames() []string {
+	names := make([]string, 0, len(faults.Registry))
+	for name := range faults.Registry {
+		names = append(names, name)
+	}
+	// Stable output order for deterministic CI logs.
+	sort.Strings(names)
+	return names
+}

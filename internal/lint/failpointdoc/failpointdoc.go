@@ -1,0 +1,65 @@
+// Package failpointdoc parses the failpoint matrix out of
+// docs/operations.md. It is shared by the registry generator
+// (internal/lint/genregistry, invoked via `go generate
+// ./internal/faults`) and the registry consistency test, so the
+// documentation table stays the single source of truth for failpoint
+// names.
+package failpointdoc
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// An Entry is one row of the matrix.
+type Entry struct {
+	Name  string // failpoint name ("wal/fsync")
+	Site  string // where it is planted
+	State string // the proven degraded state
+}
+
+// rowRe matches a matrix body row: | `name` | site | state |
+var rowRe = regexp.MustCompile("^\\|\\s*`([^`]+)`\\s*\\|([^|]*)\\|([^|]*)\\|\\s*$")
+
+// ParseMatrix extracts the "Failpoint matrix" table from the markdown
+// file at path.
+func ParseMatrix(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var entries []Entry
+	inSection := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			inSection = strings.Contains(line, "Failpoint matrix")
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		m := rowRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		entries = append(entries, Entry{
+			Name:  strings.TrimSpace(m[1]),
+			Site:  strings.TrimSpace(m[2]),
+			State: strings.TrimSpace(m[3]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%s: no failpoint matrix rows found (section header or table format changed?)", path)
+	}
+	return entries, nil
+}

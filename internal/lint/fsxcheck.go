@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// fsxPackages are the packages whose file writes must be durable:
+// everything that persists store state (PR 4's WAL + snapshots, PR 7's
+// packed format, replication's bootstrap installs) plus the raster and
+// vault repositories. internal/fsx itself is the one audited home of
+// the raw os calls.
+var fsxPackages = []string{
+	"repro/internal/persist",
+	"repro/internal/colpack",
+	"repro/internal/strabon",
+	"repro/internal/replication",
+	"repro/internal/raster",
+	"repro/internal/vault",
+}
+
+// fsxBanned are the os entry points that produce or move files without
+// the write-temp/fsync/rename dance.
+var fsxBanned = map[string]string{
+	"Create":    "creates a file that is not fsynced or atomically installed",
+	"Rename":    "renames without the temp-file/fsync sequence (and without the directory fsync that makes the rename durable)",
+	"WriteFile": "writes in place: a crash leaves a torn file",
+}
+
+// Fsxcheck enforces PR 4's durability discipline: in the persistence
+// packages, durable writes go through internal/fsx's
+// write-temp/fsync/rename path, never through bare os.Create,
+// os.Rename, or os.WriteFile. Intentional exceptions (append-only WAL
+// segments, test fixtures) carry a //lint:allow fsxcheck(reason)
+// directive.
+var Fsxcheck = &Analyzer{
+	Name: "fsxcheck",
+	Doc: "direct os.Create/os.Rename/os.WriteFile in durability-critical packages " +
+		"bypass the fsx write-temp/fsync/rename discipline; use fsx.WriteFileAtomic " +
+		"or annotate with //lint:allow fsxcheck(reason)",
+	Run: runFsxcheck,
+}
+
+func runFsxcheck(pass *Pass) error {
+	if !pathIn(pass.Pkg.Path(), fsxPackages...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || funcPkgPath(fn) != "os" {
+				return true
+			}
+			why, banned := fsxBanned[fn.Name()]
+			if !banned {
+				return true
+			}
+			pass.Reportf(call.Pos(), "direct os.%s %s; route durable writes through internal/fsx (fsx.WriteFileAtomic + fsx.SyncDir)",
+				fn.Name(), why)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,363 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Lockcheck enforces the ...Locked naming contract established in the
+// strabon store (PR 2/4/7): a function whose name ends in "Locked"
+// documents that its receiver's mutex is held on entry, so it may only
+// be called (a) from another ...Locked function, or (b) lexically
+// inside a critical section opened by a .Lock()/.RLock() on a mutex
+// rooted at the same receiver. It also flags a ...Locked function that
+// acquires its own receiver's mutex — the self-deadlock the suffix
+// exists to prevent.
+var Lockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "calls to ...Locked functions must hold the receiver's mutex: " +
+		"made from another ...Locked function or between mu.Lock()/Unlock() " +
+		"(deferred unlocks keep the section open; an unlock inside a " +
+		"returning branch does not close the fall-through path)",
+	Run: runLockcheck,
+}
+
+func runLockcheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				checkLockedBody(pass, fd)
+				continue
+			}
+			sim := &lockSim{pass: pass}
+			sim.stmt(fd.Body, newLockState())
+		}
+	}
+	return nil
+}
+
+// checkLockedBody flags a ...Locked function that locks the mutex it
+// documents as already held.
+func checkLockedBody(pass *Pass, fd *ast.FuncDecl) {
+	recvName := receiverName(fd)
+	if recvName == "" {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure may legitimately run after release
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := isMutexMethod(calleeFunc(pass.Info, call))
+		if !ok || (name != "Lock" && name != "RLock") {
+			return true
+		}
+		if root := recvRoot(call); strings.HasPrefix(root, recvName+".") {
+			pass.Reportf(call.Pos(), "%s acquires %s inside %s, which documents the lock as already held (self-deadlock)",
+				name, root, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// lockState is the set of mutex expressions ("st.mu", "e.planMu")
+// currently held on the path being simulated.
+type lockState struct {
+	held map[string]bool
+	// terminated marks a path that cannot fall through (return, panic,
+	// os.Exit); terminated paths are excluded from branch merges.
+	terminated bool
+}
+
+func newLockState() *lockState { return &lockState{held: map[string]bool{}} }
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{held: make(map[string]bool, len(s.held)), terminated: s.terminated}
+	for k := range s.held {
+		c.held[k] = true
+	}
+	return c
+}
+
+// merge intersects the held sets of the non-terminated states; with no
+// live state the result is terminated.
+func mergeStates(states ...*lockState) *lockState {
+	var live []*lockState
+	for _, s := range states {
+		if s != nil && !s.terminated {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		out := newLockState()
+		out.terminated = true
+		return out
+	}
+	out := newLockState()
+	for k := range live[0].held {
+		all := true
+		for _, s := range live[1:] {
+			if !s.held[k] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out.held[k] = true
+		}
+	}
+	return out
+}
+
+// lockSim walks a function body in execution order, tracking which
+// mutexes are held, and reports ...Locked calls made with no
+// compatible mutex held.
+type lockSim struct {
+	pass *Pass
+}
+
+// stmt simulates one statement, returning the fall-through state.
+func (sim *lockSim) stmt(st ast.Stmt, in *lockState) *lockState {
+	if st == nil || in.terminated {
+		return in
+	}
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		cur := in
+		for _, inner := range s.List {
+			cur = sim.stmt(inner, cur)
+		}
+		return cur
+	case *ast.ExprStmt:
+		return sim.expr(s.X, in)
+	case *ast.AssignStmt:
+		cur := in
+		for _, e := range s.Rhs {
+			cur = sim.expr(e, cur)
+		}
+		for _, e := range s.Lhs {
+			cur = sim.expr(e, cur)
+		}
+		return cur
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if ok {
+			cur := in
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						cur = sim.expr(e, cur)
+					}
+				}
+			}
+			return cur
+		}
+		return in
+	case *ast.ReturnStmt:
+		cur := in
+		for _, e := range s.Results {
+			cur = sim.expr(e, cur)
+		}
+		out := cur.clone()
+		out.terminated = true
+		return out
+	case *ast.BranchStmt: // break/continue/goto: treat as terminating this path
+		out := in.clone()
+		out.terminated = true
+		return out
+	case *ast.IfStmt:
+		cur := sim.stmt(s.Init, in)
+		cur = sim.expr(s.Cond, cur)
+		thenOut := sim.stmt(s.Body, cur.clone())
+		elseOut := cur.clone()
+		if s.Else != nil {
+			elseOut = sim.stmt(s.Else, cur.clone())
+		}
+		return mergeStates(thenOut, elseOut)
+	case *ast.ForStmt:
+		cur := sim.stmt(s.Init, in)
+		cur = sim.expr(s.Cond, cur)
+		bodyOut := sim.stmt(s.Body, cur.clone())
+		sim.stmt(s.Post, bodyOut)
+		// The loop may run zero times; fall-through keeps only locks
+		// held both before and after the body.
+		return mergeStates(cur, bodyOut)
+	case *ast.RangeStmt:
+		cur := sim.expr(s.X, in)
+		bodyOut := sim.stmt(s.Body, cur.clone())
+		return mergeStates(cur, bodyOut)
+	case *ast.SwitchStmt:
+		cur := sim.stmt(s.Init, in)
+		cur = sim.expr(s.Tag, cur)
+		return sim.caseBodies(s.Body, cur)
+	case *ast.TypeSwitchStmt:
+		cur := sim.stmt(s.Init, in)
+		cur = sim.stmt(s.Assign, cur)
+		return sim.caseBodies(s.Body, cur)
+	case *ast.SelectStmt:
+		return sim.caseBodies(s.Body, in)
+	case *ast.DeferStmt:
+		// A deferred Unlock runs at function exit: the section stays
+		// open for the remainder of the body, so the call itself does
+		// not change state. Other deferred calls (incl. closures) are
+		// simulated for violations only, with the state at this point.
+		if name, ok := isMutexMethod(calleeFunc(sim.pass.Info, s.Call)); ok && (name == "Unlock" || name == "RUnlock") {
+			return in
+		}
+		for _, arg := range s.Call.Args {
+			sim.expr(arg, in.clone())
+		}
+		sim.expr(s.Call.Fun, in.clone())
+		return in
+	case *ast.GoStmt:
+		// A goroutine runs concurrently: simulate its body with no
+		// locks held (the spawning section's locks are not its own).
+		sim.expr(s.Call.Fun, newLockState())
+		for _, arg := range s.Call.Args {
+			sim.expr(arg, newLockState())
+		}
+		return in
+	case *ast.LabeledStmt:
+		return sim.stmt(s.Stmt, in)
+	case *ast.IncDecStmt:
+		return sim.expr(s.X, in)
+	case *ast.SendStmt:
+		cur := sim.expr(s.Chan, in)
+		return sim.expr(s.Value, cur)
+	default:
+		return in
+	}
+}
+
+func (sim *lockSim) caseBodies(body *ast.BlockStmt, in *lockState) *lockState {
+	outs := []*lockState{in} // zero matching case / no default falls through
+	for _, cc := range body.List {
+		cur := in.clone()
+		switch c := cc.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				cur = sim.expr(e, cur)
+			}
+			for _, st := range c.Body {
+				cur = sim.stmt(st, cur)
+			}
+		case *ast.CommClause:
+			cur = sim.stmt(c.Comm, cur)
+			for _, st := range c.Body {
+				cur = sim.stmt(st, cur)
+			}
+		}
+		outs = append(outs, cur)
+	}
+	return mergeStates(outs...)
+}
+
+// expr simulates an expression, updating lock state for mutex calls
+// and reporting ...Locked calls made without the lock.
+func (sim *lockSim) expr(e ast.Expr, in *lockState) *lockState {
+	if e == nil || in.terminated {
+		return in
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		cur := in
+		// Arguments evaluate before the call.
+		for _, arg := range x.Args {
+			cur = sim.expr(arg, cur)
+		}
+		fn := calleeFunc(sim.pass.Info, x)
+		if name, ok := isMutexMethod(fn); ok {
+			path := recvRoot(x)
+			switch name {
+			case "Lock", "RLock":
+				cur = cur.clone()
+				cur.held[path] = true
+			case "Unlock", "RUnlock":
+				cur = cur.clone()
+				delete(cur.held, path)
+			}
+			return cur
+		}
+		if fn != nil && strings.HasSuffix(fn.Name(), "Locked") {
+			sim.checkLockedCall(x, fn, cur)
+		}
+		// A panicking call terminates the path.
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" && calleeFunc(sim.pass.Info, x) == nil {
+			out := cur.clone()
+			out.terminated = true
+			return out
+		}
+		return sim.expr(x.Fun, cur)
+	case *ast.FuncLit:
+		// Assume synchronous execution at this point (sort.Slice,
+		// cleanup closures): the body sees the current lock state.
+		sim.stmt(x.Body, in.clone())
+		return in
+	case *ast.ParenExpr:
+		return sim.expr(x.X, in)
+	case *ast.SelectorExpr:
+		return sim.expr(x.X, in)
+	case *ast.UnaryExpr:
+		return sim.expr(x.X, in)
+	case *ast.BinaryExpr:
+		cur := sim.expr(x.X, in)
+		return sim.expr(x.Y, cur)
+	case *ast.IndexExpr:
+		cur := sim.expr(x.X, in)
+		return sim.expr(x.Index, cur)
+	case *ast.SliceExpr:
+		cur := sim.expr(x.X, in)
+		cur = sim.expr(x.Low, cur)
+		cur = sim.expr(x.High, cur)
+		return sim.expr(x.Max, cur)
+	case *ast.StarExpr:
+		return sim.expr(x.X, in)
+	case *ast.TypeAssertExpr:
+		return sim.expr(x.X, in)
+	case *ast.CompositeLit:
+		cur := in
+		for _, elt := range x.Elts {
+			cur = sim.expr(elt, cur)
+		}
+		return cur
+	case *ast.KeyValueExpr:
+		return sim.expr(x.Value, in)
+	default:
+		return in
+	}
+}
+
+// checkLockedCall reports a ...Locked call whose receiver has no held
+// mutex on the current path.
+func (sim *lockSim) checkLockedCall(call *ast.CallExpr, fn *types.Func, st *lockState) {
+	root := recvRoot(call)
+	if root == "" {
+		// Plain ...Locked function: any held mutex satisfies it.
+		if len(st.held) == 0 {
+			sim.pass.Reportf(call.Pos(), "call to %s with no mutex held; callers of ...Locked functions must hold the lock or be ...Locked themselves", fn.Name())
+		}
+		return
+	}
+	for path := range st.held {
+		if strings.HasPrefix(path, root+".") || path == root {
+			return
+		}
+	}
+	sim.pass.Reportf(call.Pos(), "call to %s.%s outside a %s-rooted critical section; hold %s's mutex (Lock/RLock) or rename the caller ...Locked",
+		root, fn.Name(), root, root)
+}

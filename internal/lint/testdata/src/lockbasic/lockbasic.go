@@ -1,0 +1,94 @@
+// Package lockbasic exercises lockcheck's single-package rules: the
+// ...Locked calling contract, critical-section tracking through
+// explicit and deferred unlocks, early-return branches, RWMutex read
+// sections, the self-deadlock rule, and //lint:allow suppression.
+package lockbasic
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) incLocked() { c.n++ }
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incLocked() // ok: deferred unlock keeps the section open
+}
+
+func (c *Counter) IncExplicit() {
+	c.mu.Lock()
+	c.incLocked() // ok: inside the explicit section
+	c.mu.Unlock()
+}
+
+func (c *Counter) bumpLocked() {
+	c.incLocked() // ok: ...Locked calling ...Locked
+}
+
+func (c *Counter) IncBad() {
+	c.incLocked() // want `outside a c-rooted critical section`
+}
+
+func (c *Counter) IncAfterUnlock() {
+	c.mu.Lock()
+	c.incLocked() // ok
+	c.mu.Unlock()
+	c.incLocked() // want `outside a c-rooted critical section`
+}
+
+func (c *Counter) IncEarlyReturn(fast bool) {
+	c.mu.Lock()
+	if fast {
+		c.n++
+		c.mu.Unlock()
+		return
+	}
+	c.incLocked() // ok: the unlocking branch returned, fall-through still holds
+	c.mu.Unlock()
+}
+
+func (c *Counter) IncAllowed() {
+	c.incLocked() //lint:allow lockcheck(constructor path; the counter is not shared yet)
+}
+
+func otherMutexHeld(c *Counter, other *sync.Mutex) {
+	other.Lock()
+	c.incLocked() // want `outside a c-rooted critical section`
+	other.Unlock()
+}
+
+type RW struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func (r *RW) readLocked() int { return r.v }
+
+func (r *RW) Upgrade() int {
+	r.mu.RLock()
+	stale := r.readLocked() // ok: an RLock section satisfies the contract
+	r.mu.RUnlock()
+	r.mu.Lock()
+	v := r.readLocked() // ok: write section after upgrade
+	r.mu.Unlock()
+	return stale + v
+}
+
+func (r *RW) rotateLocked() {
+	r.mu.Lock() // want `Lock acquires r\.mu inside rotateLocked`
+	r.v++
+	r.mu.Unlock()
+}
+
+func rebalanceLocked(rows []int) int { return len(rows) }
+
+func plainCaller(mu *sync.Mutex) {
+	rebalanceLocked(nil) // want `call to rebalanceLocked with no mutex held`
+	mu.Lock()
+	rebalanceLocked(nil) // ok: a plain ...Locked helper accepts any held mutex
+	mu.Unlock()
+}

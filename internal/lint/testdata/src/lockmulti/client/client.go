@@ -1,0 +1,16 @@
+// Package client exercises lockcheck across a package boundary: the
+// ...Locked contract travels with the exported method, so an importing
+// package must hold the store's mutex too.
+package client
+
+import "lockmulti/store"
+
+func Good(s *store.Store) []int {
+	s.Mu.RLock()
+	defer s.Mu.RUnlock()
+	return s.BuildSnapshotLocked() // ok: read lock held across the call
+}
+
+func Bad(s *store.Store) []int {
+	return s.BuildSnapshotLocked() // want `outside a s-rooted critical section`
+}

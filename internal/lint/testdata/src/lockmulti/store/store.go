@@ -1,0 +1,19 @@
+// Package store is the exporting half of the multi-package lockcheck
+// fixture: a Store with an exported mutex and a ...Locked method, the
+// shape of strabon.Store.BuildSnapshotLocked.
+package store
+
+import "sync"
+
+type Store struct {
+	Mu   sync.RWMutex
+	rows []int
+}
+
+func New(rows []int) *Store { return &Store{rows: rows} }
+
+func (s *Store) BuildSnapshotLocked() []int {
+	out := make([]int, len(s.rows))
+	copy(out, s.rows)
+	return out
+}

@@ -1,0 +1,23 @@
+// Package colpack shadows repro/internal/colpack to exercise
+// failpointcheck against the real generated faults.Registry: plants
+// must be string literals and must name a documented failpoint.
+package colpack
+
+import "repro/internal/faults"
+
+func openSection(name string) error {
+	if err := faults.Eval("colpack/open"); err != nil { // ok: registered in docs/operations.md
+		return err
+	}
+	if err := faults.Eval("colpack/does-not-exist"); err != nil { // want `not in faults\.Registry`
+		return err
+	}
+	if err := faults.Eval(name); err != nil { // want `must be a string literal`
+		return err
+	}
+	//lint:allow failpointcheck(fixture plant behind a build tag; registered on promotion)
+	if err := faults.Eval("colpack/experimental"); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package persist shadows repro/internal/persist so fsxcheck's
+// path-scoped bans can be exercised without touching real code.
+package persist
+
+import "os"
+
+func writeState(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want `direct os\.WriteFile`
+		return err
+	}
+	f, err := os.Create(path + ".new") // want `direct os\.Create`
+	if err != nil {
+		return err
+	}
+	if cerr := f.Close(); cerr != nil {
+		return cerr
+	}
+	return os.Rename(path+".new", path) // want `direct os\.Rename`
+}
+
+func readState(path string) ([]byte, error) {
+	return os.ReadFile(path) // ok: reads are unrestricted
+}
+
+func allowedLegacy(path string, data []byte) error {
+	//lint:allow fsxcheck(fixture stand-in for an append-only segment where rename-in-place cannot apply)
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,47 @@
+// Package strabon shadows repro/internal/strabon to exercise
+// errdropcheck: dropped Sync/Append errors, write-path Close drops,
+// the cleanup-before-error-return exemption, and suppression.
+package strabon
+
+import "os"
+
+func writeAll(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.Write(data); werr != nil {
+		f.Close() // ok: cleanup before returning the real error
+		return werr
+	}
+	f.Sync()        // want `f\.Sync error dropped`
+	_ = f.Sync()    // want `f\.Sync error discarded into _`
+	defer f.Close() // want `f\.Close error dropped on a write path`
+	return nil
+}
+
+func readAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // ok: read path, no write-set evidence
+	buf := make([]byte, 8)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+type journal struct{ n uint64 }
+
+func (j *journal) Append(rec []byte) (uint64, error) {
+	j.n++
+	return j.n, nil
+}
+
+func logRecord(j *journal, rec []byte) {
+	j.Append(rec) // want `j\.Append error dropped`
+}
+
+func hintFlushed(f *os.File) {
+	f.Sync() //lint:allow errdropcheck(best-effort readahead hint; failure is harmless)
+}

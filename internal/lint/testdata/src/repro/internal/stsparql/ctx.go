@@ -1,0 +1,73 @@
+// Package stsparql shadows repro/internal/stsparql to exercise both
+// ctxcheck rules: accepted-but-unused context parameters and unbounded
+// loops that spin past cancellation.
+package stsparql
+
+import "context"
+
+func EvalAll(ctx context.Context, rows []int) (int, error) {
+	total := 0
+	for i, r := range rows {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		total += r
+	}
+	return total, nil
+}
+
+func QueryDropped(ctx context.Context, rows []int) int { // want `QueryDropped accepts ctx but never checks or propagates`
+	total := 0
+	for _, r := range rows {
+		total += r
+	}
+	return total
+}
+
+func evalDiscarded(ctx context.Context) int { // want `evalDiscarded accepts ctx but never checks or propagates`
+	_ = ctx // a blank discard is not a real use
+	return 1
+}
+
+type pump struct {
+	ctx  context.Context
+	next func() (int, bool)
+}
+
+func (p *pump) drain() int {
+	total := 0
+	for { // want `unbounded loop in drain never checks the in-scope context`
+		v, ok := p.next()
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+func (p *pump) drainChecked() (int, error) {
+	total := 0
+	for { // ok: polls the receiver's context each iteration
+		if err := p.ctx.Err(); err != nil {
+			return 0, err
+		}
+		v, ok := p.next()
+		if !ok {
+			return total, nil
+		}
+		total += v
+	}
+}
+
+func (p *pump) drainAllowed() int {
+	i := 0
+	//lint:allow ctxcheck(fixed eight iterations; cancellation latency is bounded)
+	for {
+		i++
+		if i == 8 {
+			return i
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/array"
+	"repro/internal/fsx"
 	"repro/internal/geo"
 )
 
@@ -336,18 +337,18 @@ func (h *Header) Envelope() geo.Envelope {
 	}
 }
 
-// SaveFrame writes a frame to <dir>/<id>.sev.
+// SaveFrame writes a frame to <dir>/<id>.sev. The write is atomic
+// (temp/fsync/rename via fsx): vault repositories are catalogued by
+// scanning the directory, so a torn frame from a crashed writer would
+// otherwise poison every later attach.
 func SaveFrame(dir string, f *Frame) (string, error) {
 	path := filepath.Join(dir, f.ID+".sev")
-	file, err := os.Create(path)
-	if err != nil {
+	if err := fsx.WriteFileAtomic(path, func(w io.Writer) error {
+		return WriteFrame(w, f)
+	}); err != nil {
 		return "", err
 	}
-	if err := WriteFrame(file, f); err != nil {
-		file.Close()
-		return "", err
-	}
-	return path, file.Close()
+	return path, nil
 }
 
 // LoadFrame reads a frame from a .sev file.
