@@ -14,10 +14,15 @@ GO ?= go
 # tail-apply throughput and cold-replica bootstrap time) added in PR 6.
 # PR 7 widens the persist set: snapshot write/load/scan-cold now run per
 # format (raw vs packed) and report disk-bytes / resident-bytes metrics.
+# PR 10 adds the group-commit writer-count ablation (acked-updates/sec
+# and fsyncs/op at 1/2/4/8 writers, group vs nogroup pipeline, per sync
+# mode) and the streaming /ingest endpoint benchmark.
 BENCH_TIER1 = BenchmarkFigure1Pipeline|BenchmarkFigure3CatalogueSearch|BenchmarkFlagshipQuery|BenchmarkOptimizerOrdering|BenchmarkAblationExecutor|BenchmarkAblationSpatialIndex|BenchmarkParallelQueryAblation
 BENCH_SCIQL = BenchmarkSelectFilter|BenchmarkGroupByAggregate|BenchmarkArrayUpdateClassify|BenchmarkAlignedArrayJoin|BenchmarkDimensionPushdownCrop|BenchmarkAblationSciQLExecutor
 BENCH_ARRAY = BenchmarkConvolve2D|BenchmarkResampleBilinear|BenchmarkTileAvg|BenchmarkConnectedComponents|BenchmarkSummarize|BenchmarkAblationParallelKernels
 BENCH_PERSIST = BenchmarkWALAppend|BenchmarkWALAppendBatch|BenchmarkWALAppendSynced|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad|BenchmarkSnapshotScanCold|BenchmarkNTriplesLoad|BenchmarkRecoveryReplay
+BENCH_GROUP = BenchmarkGroupCommitWriters
+BENCH_INGEST = BenchmarkIngestEndpoint
 BENCH_REPL = BenchmarkTailApply|BenchmarkReplicaBootstrap
 
 .PHONY: all build test race vet lint gen-registry bench bench-json equivalence crash-test replica-test fault-test clean
@@ -75,19 +80,23 @@ vet:
 	$(GO) vet ./...
 
 # bench runs the tier-1 benchmark set with allocation accounting and
-# leaves both the raw output (bench.out) and the JSON artefact.
+# leaves both the raw output (bin/bench.out, an ignored path — the repo
+# root stays clean) and the JSON artefact.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_TIER1)' -benchmem . | tee bench.out
-	$(GO) test -run '^$$' -bench '$(BENCH_SCIQL)' -benchmem ./internal/sciql/ | tee -a bench.out
-	$(GO) test -run '^$$' -bench '$(BENCH_ARRAY)' -benchmem ./internal/array/ | tee -a bench.out
-	$(GO) test -run '^$$' -bench '$(BENCH_PERSIST)' -benchmem -short ./internal/persist/ | tee -a bench.out
-	$(GO) test -run '^$$' -bench '$(BENCH_REPL)' -benchmem ./internal/replication/ | tee -a bench.out
+	@mkdir -p bin
+	$(GO) test -run '^$$' -bench '$(BENCH_TIER1)' -benchmem . | tee bin/bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_SCIQL)' -benchmem ./internal/sciql/ | tee -a bin/bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_ARRAY)' -benchmem ./internal/array/ | tee -a bin/bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_PERSIST)' -benchmem -short ./internal/persist/ | tee -a bin/bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_GROUP)' -benchmem ./internal/persist/ | tee -a bin/bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_INGEST)' -benchmem ./internal/endpoint/ | tee -a bin/bench.out
+	$(GO) test -run '^$$' -bench '$(BENCH_REPL)' -benchmem ./internal/replication/ | tee -a bin/bench.out
 
 # bench-json converts the last bench run (or a fresh one) into the
 # machine-readable perf record.
 bench-json: bench
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR7.json
-	@echo wrote BENCH_PR7.json
+	$(GO) run ./cmd/benchjson < bin/bench.out > BENCH_PR10.json
+	@echo wrote BENCH_PR10.json
 
 # equivalence runs the executor-equivalence gates in both serial and
 # parallel-morsel modes (the CI gate for the morsel executor).
@@ -97,4 +106,4 @@ equivalence:
 	$(GO) test -run 'TestPrimaryReplicaEquivalence' ./internal/replication/
 
 clean:
-	rm -f bench.out
+	rm -f bench.out bin/bench.out

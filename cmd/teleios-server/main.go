@@ -6,6 +6,7 @@
 //
 //	teleios-server [-addr :8080] [-data-dir DIR] [-store DIR] [-nt FILE]
 //	               [-linked] [-wal-sync always|none|DUR]
+//	               [-wal-group-window DUR] [-ingest-max-chunk N]
 //	               [-snapshot-format packed|raw]
 //	               [-checkpoint-every DUR] [-checkpoint-bytes N]
 //	               [-cache N] [-max-concurrency N] [-timeout DUR]
@@ -26,9 +27,16 @@
 // past it, and afterwards every mutation — including INSERT/DELETE
 // through the endpoint — is journalled before it is applied, so the
 // database survives crashes and SIGKILL, not just graceful shutdown.
-// -wal-sync picks the fsync policy (always = every record, a duration =
-// periodic, none = leave it to the OS); -checkpoint-every /
-// -checkpoint-bytes bound how much WAL a restart replays.
+// -wal-sync picks the fsync policy (always = every durable ack, a
+// duration = periodic, none = leave it to the OS); -checkpoint-every /
+// -checkpoint-bytes bound how much WAL a restart replays. Writes commit
+// through a group-commit pipeline: concurrent writers share one batched
+// segment write and one fsync, so -wal-sync=always throughput scales
+// with the writer count instead of paying one fsync per update.
+// -wal-group-window adds a fixed accumulation delay before each flush
+// (bigger batches, higher latency; the default 0 relies on natural
+// batching alone). POST /ingest bulk-loads a streaming N-Triples body
+// in pipelined chunks of -ingest-max-chunk triples.
 // -snapshot-format picks what checkpoints write: packed (default) is
 // the compressed, mmap-able columnar format that recovery maps and
 // serves in place — restart cost is verification, not materialisation —
@@ -111,6 +119,8 @@ type serverConfig struct {
 	shedWatermark   float64
 	breakerFails    int
 	breakerOpen     time.Duration
+	groupWindow     time.Duration
+	ingestMaxChunk  int
 }
 
 func main() {
@@ -139,6 +149,8 @@ func main() {
 	flag.Float64Var(&cfg.shedWatermark, "shed-watermark", 0, "fraction of -queue at which new queries are shed with 503 before the pool saturates (0 or out of range sheds only when full)")
 	flag.IntVar(&cfg.breakerFails, "breaker-fails", 0, "router: consecutive failed health checks before a backend's circuit breaker ejects it (0 = default 2)")
 	flag.DurationVar(&cfg.breakerOpen, "breaker-open", 0, "router: minimum hold-out after a breaker trips, damping flapping backends (0 readmits on the first healthy check)")
+	flag.DurationVar(&cfg.groupWindow, "wal-group-window", 0, "extra accumulation delay before each group-commit flush (0 = natural batching only: a batch gathers for exactly as long as the previous fsync takes)")
+	flag.IntVar(&cfg.ingestMaxChunk, "ingest-max-chunk", 0, "triples per /ingest commit batch (0 = default 8192)")
 	legacySciQL := flag.Bool("legacy-sciql", false, "use the legacy tuple-at-a-time SciQL interpreter instead of the columnar kernel executor (applies to every SciQL engine in this process)")
 	flag.Parse()
 
@@ -206,6 +218,7 @@ func run(cfg serverConfig) error {
 			Dir:             cfg.dataDir,
 			SyncMode:        mode,
 			SyncEvery:       every,
+			GroupWindow:     cfg.groupWindow,
 			CheckpointEvery: cfg.checkpointEvery,
 			CheckpointBytes: cfg.checkpointBytes,
 			SnapshotFormat:  cfg.snapshotFormat,
@@ -290,6 +303,7 @@ func run(cfg serverConfig) error {
 		RateLimit:      cfg.rateLimit,
 		RateBurst:      cfg.rateBurst,
 		ShedWatermark:  cfg.shedWatermark,
+		IngestMaxChunk: cfg.ingestMaxChunk,
 	}
 	if manager != nil {
 		epCfg.DurabilityStats = func() endpoint.DurabilityStats {
@@ -542,6 +556,15 @@ func durabilityStats(m *persist.Manager) endpoint.DurabilityStats {
 	}
 	if ps.JournalErr != nil {
 		ds.JournalError = ps.JournalErr.Error()
+	}
+	ds.GroupBatches = ps.GroupBatches
+	ds.GroupRecords = ps.GroupRecords
+	ds.GroupFsyncs = ps.GroupFsyncs
+	ds.FsyncsSaved = ps.FsyncsSaved
+	ds.TicketWaitUs = ps.TicketWaitMean.Microseconds()
+	ds.GroupWindowMs = ps.GroupWindow.Milliseconds()
+	if ps.GroupBatches > 0 {
+		ds.GroupBatchHist = ps.GroupBatchHist[:]
 	}
 	return ds
 }

@@ -873,20 +873,20 @@ type vetoJournal struct {
 	seq  uint64
 }
 
-func (j *vetoJournal) LogAdd([]rdf.Triple) (uint64, error) {
+func (j *vetoJournal) LogAdd([]rdf.Triple) (strabon.Commit, error) {
 	if j.fail {
-		return 0, errors.New("no space left on device")
+		return strabon.Commit{}, errors.New("no space left on device")
 	}
 	j.seq++
-	return j.seq, nil
+	return strabon.Commit{Seq: j.seq}, nil
 }
-func (j *vetoJournal) LogRemove(rdf.Triple) (uint64, error) {
+func (j *vetoJournal) LogRemove(rdf.Triple) (strabon.Commit, error) {
 	j.seq++
-	return j.seq, nil
+	return strabon.Commit{Seq: j.seq}, nil
 }
-func (j *vetoJournal) LogCompact() (uint64, error) {
+func (j *vetoJournal) LogCompact() (strabon.Commit, error) {
 	j.seq++
-	return j.seq, nil
+	return strabon.Commit{Seq: j.seq}, nil
 }
 
 // TestUpdateJournalVetoIs500: an update whose WAL append fails must not

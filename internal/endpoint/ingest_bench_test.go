@@ -1,0 +1,72 @@
+package endpoint
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/stsparql"
+)
+
+// BenchmarkIngestEndpoint drives the streaming /ingest path end to end:
+// HTTP POST, line decode, triple parse, chunked AddAll commits. The
+// "durable" variant backs the store with the WAL in SyncAlways mode, so
+// each chunk rides the group-commit pipeline; "memory" isolates the
+// decode/parse/index cost. Reported triples/sec is the headline number
+// for live-feed capacity planning (docs/performance.md).
+func BenchmarkIngestEndpoint(b *testing.B) {
+	const perPost = 2000
+	for _, variant := range []string{"memory", "durable"} {
+		b.Run(variant, func(b *testing.B) {
+			cfg := Config{IngestMaxChunk: 512}
+			if variant == "durable" {
+				m, st, err := persist.Open(persist.Options{
+					Dir: b.TempDir(), SyncMode: persist.SyncAlways, NoCheckpointOnClose: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer m.Close()
+				cfg.Store = st
+				cfg.Engine = stsparql.New(st)
+			} else {
+				st, eng := fixture()
+				cfg.Store = st
+				cfg.Engine = eng
+			}
+			srv, err := NewServer(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			bodies := make([]string, b.N)
+			var bytesPerPost int
+			for i := range bodies {
+				bodies[i] = ntLinesNoHeader(perPost, fmt.Sprintf("b%d", i))
+				bytesPerPost = len(bodies[i])
+			}
+			b.SetBytes(int64(bytesPerPost))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Post(ts.URL+"/ingest", "application/n-triples", strings.NewReader(bodies[i]))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("ingest status %d", resp.StatusCode)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(perPost)*float64(b.N)/b.Elapsed().Seconds(), "triples/sec")
+		})
+	}
+}

@@ -1,0 +1,268 @@
+package endpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/replication"
+)
+
+// The streaming bulk-ingest front door: chunked N-Triples in, pipelined
+// AddAll batches out, with the SPARQL update path excluded and reads
+// concurrent. Failpoint tests for the stream live here too (process-
+// global failpoints — no t.Parallel).
+
+type ingestResponse struct {
+	Received int `json:"received"`
+	Added    int `json:"added"`
+	Batches  int `json:"batches"`
+}
+
+func postIngest(t *testing.T, base, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/ingest", "application/n-triples", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, b
+}
+
+func ntLines(n int, tag string) string {
+	var sb strings.Builder
+	sb.WriteString("# synthetic observation feed\n\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "<http://example.org/obs/%s-%d> <http://teleios.di.uoa.gr/noa#hasGeometry> "+
+			"\"POINT (%d.5 37.9)\"^^<http://strdf.di.uoa.gr/ontology#WKT> .\n", tag, i, i%179)
+	}
+	return sb.String()
+}
+
+func TestIngestStreamsAndCommitsInChunks(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *Config) { c.IngestMaxChunk = 16 })
+	before := srv.cfg.Store.Len()
+	resp, body := postIngest(t, ts.URL, ntLines(50, "a"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+	}
+	var ir ingestResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatalf("response %q: %v", body, err)
+	}
+	if ir.Received != 50 || ir.Added != 50 {
+		t.Fatalf("received/added = %d/%d, want 50/50", ir.Received, ir.Added)
+	}
+	// 50 triples at 16 per chunk = 4 batches (16+16+16+2).
+	if ir.Batches != 4 {
+		t.Fatalf("batches = %d, want 4", ir.Batches)
+	}
+	if got := srv.cfg.Store.Len() - before; got != 50 {
+		t.Fatalf("store grew by %d, want 50", got)
+	}
+	if resp.Header.Get(replication.HeaderAppliedSeq) == "" {
+		t.Fatal("missing applied-seq watermark header")
+	}
+
+	// Idempotent re-send: everything deduplicated, nothing lost.
+	resp, body = postIngest(t, ts.URL, ntLines(50, "a"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-ingest status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Received != 50 || ir.Added != 0 {
+		t.Fatalf("re-send received/added = %d/%d, want 50/0", ir.Received, ir.Added)
+	}
+}
+
+func TestIngestRejectsMalformedLineWithPosition(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	before := srv.cfg.Store.Len()
+	resp, body := postIngest(t, ts.URL, "<http://example.org/a> <http://example.org/p> <http://example.org/b> .\nnot a triple\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "line 2") {
+		t.Fatalf("error does not name the offending line: %s", body)
+	}
+	// The valid line before the error was in the aborted chunk — with the
+	// default chunk size nothing was committed, and the error says so.
+	if !strings.Contains(string(body), "0 committed chunks") {
+		t.Fatalf("error does not report committed progress: %s", body)
+	}
+	if srv.cfg.Store.Len() != before {
+		t.Fatalf("store grew by %d on an aborted single-chunk stream", srv.cfg.Store.Len()-before)
+	}
+}
+
+func TestIngestMethodAndModeGates(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.ReadOnly = true; c.ReadOnlyMessage = "replica; go to the primary" })
+	resp, err := http.Get(ts.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ingest status %d, want 405", resp.StatusCode)
+	}
+	resp, body := postIngest(t, ts.URL, ntLines(1, "ro"))
+	if resp.StatusCode != http.StatusForbidden || !strings.Contains(string(body), "primary") {
+		t.Fatalf("read-only ingest: status %d body %s, want 403 naming the primary", resp.StatusCode, body)
+	}
+}
+
+func TestIngestDegradedModeRefusedUpFront(t *testing.T) {
+	broken := fmt.Errorf("wal latched broken")
+	_, ts := newTestServer(t, func(c *Config) { c.DegradedCheck = func() error { return broken } })
+	resp, body := postIngest(t, ts.URL, ntLines(3, "deg"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "degraded read-only mode") {
+		t.Fatalf("503 body does not explain the degradation: %s", body)
+	}
+}
+
+// TestIngestJournalVetoAbortsStream: a WAL veto mid-stream must fail
+// the request (nothing in the vetoed chunk is durable) while reporting
+// the progress that IS durable — and the pipeline's decoder goroutine
+// must shut down with the handler (the package leakcheck enforces it).
+func TestIngestJournalVetoAbortsStream(t *testing.T) {
+	j := &vetoJournal{}
+	srv, ts := newTestServer(t, func(c *Config) { c.IngestMaxChunk = 8 })
+	srv.cfg.Store.SetJournal(j)
+	defer srv.cfg.Store.SetJournal(nil)
+
+	resp, body := postIngest(t, ts.URL, ntLines(8, "ok"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy ingest status %d: %s", resp.StatusCode, body)
+	}
+	j.fail = true
+	resp, body = postIngest(t, ts.URL, ntLines(24, "veto"))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("vetoed ingest status %d, want 500: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "write-ahead journal") {
+		t.Fatalf("500 body does not name the journal: %s", body)
+	}
+	j.fail = false
+	if resp, body = postIngest(t, ts.URL, ntLines(8, "after")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest after journal recovery: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestIngestReadFaultFailsThatStreamOnly: the endpoint/ingest-read
+// failpoint (matrix: docs/operations.md) — the stream fails mid-flight
+// with a clear error naming the committed progress; the server and the
+// next stream are unaffected.
+func TestIngestReadFaultFailsThatStreamOnly(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *Config) { c.IngestMaxChunk = 4 })
+	before := srv.cfg.Store.Len()
+	// Fail on the 10th line: chunks of 4 → two chunks (8 triples) commit,
+	// the ninth triple is in the aborted chunk.
+	armEndpointFaults(t, "endpoint/ingest-read=9*off->1*error(connection reset)->off")
+	resp, body := postIngest(t, ts.URL, ntLinesNoHeader(16, "fault"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "2 committed chunks") {
+		t.Fatalf("error does not report the committed prefix: %s", body)
+	}
+	if got := srv.cfg.Store.Len() - before; got != 8 {
+		t.Fatalf("store grew by %d, want the 8 committed triples", got)
+	}
+	resp, body = postIngest(t, ts.URL, ntLinesNoHeader(16, "fault"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-send after fault: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// ntLinesNoHeader emits exactly n statement lines (no comment/blank
+// prologue), for tests that count failpoint evaluations per line.
+func ntLinesNoHeader(n int, tag string) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "<http://example.org/obs/%s-%d> <http://teleios.di.uoa.gr/noa#observedAt> "+
+			"\"2007-08-25T12:%02d:00\" .\n", tag, i, i%60)
+	}
+	return sb.String()
+}
+
+// TestIngestConcurrentWithQueriesAndUpdates: ingest streams, SPARQL
+// updates and reads all in flight at once — the lock contract (ingest
+// shares the read side, updates the write side) must hold up under
+// load without torn statements or lost writes.
+func TestIngestConcurrentWithQueriesAndUpdates(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *Config) { c.IngestMaxChunk = 8 })
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/ingest", "application/n-triples",
+				strings.NewReader(ntLines(64, fmt.Sprintf("conc%d", g))))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("ingest %d: status %d", g, resp.StatusCode)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			up := fmt.Sprintf(`INSERT DATA { <http://example.org/up/%d> a <http://example.org/Town> }`, i)
+			resp, err := http.PostForm(ts.URL+"/sparql", url.Values{"update": {up}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("update %d: status %d", i, resp.StatusCode)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape("SELECT ?s WHERE { ?s a <http://example.org/Town> }"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+	// 3×64 ingested triples + 10 update towns, all present.
+	n := srv.cfg.Store.Len()
+	if want := lenAfterFixture(srv) + 3*64 + 10; n != want {
+		t.Fatalf("store has %d triples, want %d", n, want)
+	}
+}
+
+// lenAfterFixture recomputes the fixture's triple count so the
+// concurrency test does not hard-code it.
+func lenAfterFixture(s *Server) int {
+	st, _ := fixture()
+	_ = s
+	return st.Len()
+}

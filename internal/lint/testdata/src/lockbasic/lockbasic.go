@@ -84,6 +84,36 @@ func (r *RW) rotateLocked() {
 	r.mu.Unlock()
 }
 
+// Pipeline pins the group-commit flush shape (persist PR 10): an outer
+// flush-lock section with an inner same-receiver batch-lock section
+// opening AND closing inside it. The inner unlock must not close the
+// outer section, early-return branches that unlock both must not leak
+// into the fall-through path, and the ...Locked call after the outer
+// unlock must still be flagged.
+type Pipeline struct {
+	walMu sync.Mutex
+	bufMu sync.Mutex
+	buf   []byte
+	seq   int
+}
+
+func (p *Pipeline) writeBatchLocked() { p.seq += len(p.buf) }
+
+func (p *Pipeline) Flush(abort bool) {
+	p.walMu.Lock()
+	p.bufMu.Lock()
+	if abort {
+		p.bufMu.Unlock()
+		p.walMu.Unlock()
+		return
+	}
+	p.buf = append(p.buf, 1)
+	p.bufMu.Unlock()
+	p.writeBatchLocked() // ok: walMu section still open after bufMu closed
+	p.walMu.Unlock()
+	p.writeBatchLocked() // want `outside a p-rooted critical section`
+}
+
 func rebalanceLocked(rows []int) int { return len(rows) }
 
 func plainCaller(mu *sync.Mutex) {

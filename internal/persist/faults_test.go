@@ -27,14 +27,17 @@ func armFaults(t *testing.T, spec string) {
 	}
 }
 
-// TestFsyncFailureVetoesWriteButRecovers: an fsync error on an acked-
-// durability WAL must veto exactly that mutation (memory unchanged,
-// rollback truncates the record) and the store must keep accepting
-// writes afterwards — the degraded state is "one update refused", not
-// "log poisoned".
+// TestFsyncFailureVetoesWriteButRecovers: on the legacy synchronous
+// path (NoGroupCommit), an fsync error on an acked-durability WAL must
+// veto exactly that mutation (memory unchanged, rollback truncates the
+// record) and the store must keep accepting writes afterwards — the
+// degraded state is "one update refused", not "log poisoned". The
+// group-commit path deliberately trades this recovery for the broken
+// latch (TestGroupFsyncFailureLatchesBroken) because its mutations are
+// applied before the fsync runs.
 func TestFsyncFailureVetoesWriteButRecovers(t *testing.T) {
 	dir := t.TempDir()
-	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways })
+	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways; o.NoGroupCommit = true })
 	if !st.Add(tr("a", "p", "b")) {
 		t.Fatal("first add refused")
 	}
@@ -69,12 +72,13 @@ func TestFsyncFailureVetoesWriteButRecovers(t *testing.T) {
 	}
 }
 
-// TestTornAppendRollsBack: a write that lands only a prefix of the
-// record (power cut mid-write) is truncated away by rollback; the next
-// append reuses the sequence number and recovery sees a clean log.
+// TestTornAppendRollsBack: on the legacy synchronous path, a write that
+// lands only a prefix of the record (power cut mid-write) is truncated
+// away by rollback; the next append reuses the sequence number and
+// recovery sees a clean log.
 func TestTornAppendRollsBack(t *testing.T) {
 	dir := t.TempDir()
-	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways })
+	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways; o.NoGroupCommit = true })
 	st.Add(tr("a", "p", "b"))
 
 	armFaults(t, "wal/append-write=1*torn(7)->off")
@@ -97,15 +101,15 @@ func TestTornAppendRollsBack(t *testing.T) {
 	}
 }
 
-// TestRollbackFailureLatchesBroken is the double fault: the append
-// tears AND the truncate that would clean it up fails. The documented
-// degradation is read-only mode — every further write vetoed with
-// errWALBroken, Manager.Broken() non-nil (the endpoint's degraded-mode
-// trigger) — and a restart re-truncates the garbage and clears the
-// latch with only acked data surviving.
+// TestRollbackFailureLatchesBroken is the legacy-path double fault: the
+// append tears AND the truncate that would clean it up fails. The
+// documented degradation is read-only mode — every further write vetoed
+// with errWALBroken, Manager.Broken() non-nil (the endpoint's
+// degraded-mode trigger) — and a restart re-truncates the garbage and
+// clears the latch with only acked data surviving.
 func TestRollbackFailureLatchesBroken(t *testing.T) {
 	dir := t.TempDir()
-	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways })
+	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways; o.NoGroupCommit = true })
 	st.Add(tr("a", "p", "b"))
 
 	armFaults(t, "wal/append-write=1*torn(7)->off;wal/rollback=1*error(io)->off")
@@ -138,6 +142,131 @@ func TestRollbackFailureLatchesBroken(t *testing.T) {
 	if !recovered.Add(tr("a", "p", "c")) {
 		t.Fatal("recovered wal refused a write")
 	}
+}
+
+// TestGroupFsyncFailureLatchesBroken: on the group-commit path the
+// batch fsync runs after its mutations were applied in memory, so a
+// fsync failure cannot be a clean veto — the rollback truncates the
+// batch bytes but memory is now ahead of the log. The documented
+// degradation is the broken latch: writer gets a failure, every further
+// write is vetoed, checkpoints refuse to persist the divergence, and a
+// restart recovers exactly the acked prefix.
+func TestGroupFsyncFailureLatchesBroken(t *testing.T) {
+	dir := t.TempDir()
+	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways })
+	if !st.Add(tr("a", "p", "b")) {
+		t.Fatal("first add refused")
+	}
+
+	armFaults(t, "wal/group-fsync=1*error(disk full)->off")
+	if st.Add(tr("a", "p", "lost")) {
+		t.Fatal("add acked despite batch fsync failure")
+	}
+	if st.JournalVetoes() != 1 {
+		t.Fatalf("vetoes = %d, want 1", st.JournalVetoes())
+	}
+	if m.Broken() == nil {
+		t.Fatal("Broken() = nil after a failed batch")
+	}
+	// The failed mutation was applied before its batch ran — memory is
+	// deliberately ahead of the log here; that divergence is exactly why
+	// the latch exists.
+	if st.Len() != 2 {
+		t.Fatalf("store has %d triples, want 2 (applied-but-not-durable)", st.Len())
+	}
+	if st.Add(tr("a", "p", "refused")) {
+		t.Fatal("broken wal acked a write")
+	}
+	if err := m.Checkpoint(); !errors.Is(err, errWALBroken) {
+		t.Fatalf("Checkpoint on a broken wal = %v, want errWALBroken (must not snapshot the divergence)", err)
+	}
+	m.Close()
+
+	m2, recovered := mustOpen(t, dir, nil)
+	defer m2.Close()
+	if err := m2.Broken(); err != nil {
+		t.Fatalf("Broken() survived a restart: %v", err)
+	}
+	if recovered.Len() != 1 {
+		t.Fatalf("recovered %d triples, want 1 (only the acked write)", recovered.Len())
+	}
+	if recovered.Add(tr("a", "p", "b")) {
+		t.Fatal("acked triple missing after recovery")
+	}
+	if !recovered.Add(tr("a", "p", "lost")) {
+		t.Fatal("unacked triple resurrected by recovery")
+	}
+}
+
+// TestGroupTornBatchDoubleFaultRestartRecovers: the group-path double
+// fault — the batch write tears AND the rollback truncate fails,
+// leaving garbage bytes at the segment tail. The latch holds until a
+// restart, whose recovery truncates the torn tail and comes back with
+// exactly the acked data, writable again.
+func TestGroupTornBatchDoubleFaultRestartRecovers(t *testing.T) {
+	dir := t.TempDir()
+	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways })
+	st.Add(tr("a", "p", "b"))
+
+	armFaults(t, "wal/append-write=1*torn(7)->off;wal/rollback=1*error(io)->off")
+	if st.Add(tr("a", "p", "torn")) {
+		t.Fatal("add acked despite torn batch write")
+	}
+	if m.Broken() == nil {
+		t.Fatal("Broken() = nil after torn batch + failed rollback")
+	}
+	if st.Add(tr("a", "p", "refused")) {
+		t.Fatal("broken wal acked a write")
+	}
+	if err := st.JournalErr(); !errors.Is(err, errWALBroken) {
+		t.Fatalf("JournalErr = %v, want errWALBroken", err)
+	}
+	m.Close()
+
+	m2, recovered := mustOpen(t, dir, nil)
+	defer m2.Close()
+	if err := m2.Broken(); err != nil {
+		t.Fatalf("Broken() survived a restart: %v", err)
+	}
+	if recovered.Len() != 1 {
+		t.Fatalf("recovered %d triples, want 1", recovered.Len())
+	}
+	if !recovered.Add(tr("a", "p", "c")) {
+		t.Fatal("recovered wal refused a write")
+	}
+}
+
+// TestGroupEnqueueFaultVetoesWriteMemoryUnchanged: an enqueue-time
+// failure happens before anything is applied, so it keeps the classic
+// clean-veto contract — memory untouched, no latch, next write fine.
+func TestGroupEnqueueFaultVetoesWriteMemoryUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways })
+	st.Add(tr("a", "p", "b"))
+
+	armFaults(t, "wal/group-enqueue=1*error(queue full)->off")
+	if st.Add(tr("a", "p", "vetoed")) {
+		t.Fatal("add acked despite enqueue fault")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store has %d triples after a synchronous veto, want 1", st.Len())
+	}
+	if st.JournalVetoes() != 1 {
+		t.Fatalf("vetoes = %d, want 1", st.JournalVetoes())
+	}
+	if err := m.Broken(); err != nil {
+		t.Fatalf("enqueue veto must not latch broken: %v", err)
+	}
+	if !st.Add(tr("a", "p", "c")) {
+		t.Fatal("add after enqueue veto refused")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	m2, recovered := mustOpen(t, dir, nil)
+	defer m2.Close()
+	assertSameContent(t, st, recovered)
 }
 
 // TestSnapshotWriteFailureKeepsOldGeneration: a failed checkpoint must
@@ -278,13 +407,15 @@ func TestCorruptSnapshotFallsBackAGeneration(t *testing.T) {
 	}
 }
 
-// TestSlowDiskIsSlowNotWrong: latency injection on the fsync path must
-// delay the ack without corrupting anything — the "slow disk" failure
-// mode degrades throughput, never correctness.
+// TestSlowDiskIsSlowNotWrong: latency injection on the group fsync path
+// must delay the ack without corrupting anything — the "slow disk"
+// failure mode degrades throughput, never correctness. A sequential
+// writer gets a one-record batch per add, so each add pays one injected
+// sleep before its ticket resolves.
 func TestSlowDiskIsSlowNotWrong(t *testing.T) {
 	dir := t.TempDir()
 	m, st := mustOpen(t, dir, func(o *Options) { o.SyncMode = SyncAlways })
-	armFaults(t, "wal/fsync=3*sleep(30ms)->off")
+	armFaults(t, "wal/group-fsync=3*sleep(30ms)->off")
 
 	start := time.Now()
 	for i := 0; i < 3; i++ {
@@ -295,8 +426,8 @@ func TestSlowDiskIsSlowNotWrong(t *testing.T) {
 	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
 		t.Fatalf("3 adds took %v, want >= 90ms of injected latency", elapsed)
 	}
-	if faults.Hits("wal/fsync") != 3 {
-		t.Fatalf("wal/fsync hit %d times, want 3", faults.Hits("wal/fsync"))
+	if faults.Hits("wal/group-fsync") != 3 {
+		t.Fatalf("wal/group-fsync hit %d times, want 3", faults.Hits("wal/group-fsync"))
 	}
 	m.Close()
 	m2, recovered := mustOpen(t, dir, nil)

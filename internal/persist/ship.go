@@ -37,7 +37,12 @@ var ErrTornRecord = errors.New("persist: torn wal record in stream")
 // errStopRead aborts a ReadWAL scan once the byte budget is spent.
 var errStopRead = errors.New("persist: read budget reached")
 
-// LastSeq reports the sequence number of the newest record in the WAL.
+// LastSeq reports the sequence number of the newest DURABLE record in
+// the WAL — under group commit, records that have been assigned a
+// sequence number but whose batch has not yet hit the disk are not
+// counted. Replication resume cursors and checkpoint labels both key on
+// this watermark, so a replica can never observe (and a snapshot can
+// never claim to cover) a record the primary might still roll back.
 func (m *Manager) LastSeq() uint64 { return m.seq.Load() }
 
 // SnapshotSeq reports the WAL sequence the newest durable snapshot
@@ -89,7 +94,12 @@ func (m *Manager) WaitSeq(ctx context.Context, after uint64) uint64 {
 // predates the oldest retained segment — the tailer missed records that
 // checkpointing has since pruned and must re-bootstrap.
 func (m *Manager) ReadWAL(fromSeq uint64, maxBytes int64, emit func(seq uint64, op byte, body []byte) error) (uint64, error) {
-	if fromSeq >= m.seq.Load() {
+	// Capture the durable watermark once: the live segment may already
+	// hold the bytes of a group-commit batch whose fsync has not returned
+	// (or will fail and be rolled back). Emitting past the watermark
+	// would let a replica apply a record the primary never acked.
+	durable := m.seq.Load()
+	if fromSeq >= durable {
 		return fromSeq, nil
 	}
 	segs, err := listSegments(m.opts.Dir)
@@ -116,6 +126,9 @@ func (m *Manager) ReadWAL(fromSeq uint64, maxBytes int64, emit func(seq uint64, 
 		_, _, err := scanSegment(seg.path, seg.firstSeq-1, func(rec walRecord) error {
 			if rec.seq <= fromSeq {
 				return nil
+			}
+			if rec.seq > durable {
+				return errStopRead
 			}
 			if err := emit(rec.seq, rec.op, rec.body); err != nil {
 				return err
@@ -185,6 +198,16 @@ func (m *Manager) ApplyReplicated(seq uint64, op byte, body []byte) error {
 	n, err := m.w.appendSeq(seq, op, body, m.opts.SyncMode == SyncAlways)
 	if err == nil {
 		m.seq.Store(seq)
+		// Keep the group sequencer aligned in case this manager is ever
+		// promoted and starts assigning its own numbers.
+		m.group.mu.Lock()
+		if seq > m.group.nextSeq {
+			m.group.nextSeq = seq
+		}
+		m.group.mu.Unlock()
+	}
+	if m.w.failed {
+		m.brokenFlag.Store(true)
 	}
 	m.walMu.Unlock()
 	if err != nil {

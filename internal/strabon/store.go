@@ -24,22 +24,60 @@ import (
 
 // Journal receives write-ahead notifications for every mutation, invoked
 // while the store's write lock is held and strictly before the in-memory
-// structures change. An implementation (internal/persist) appends a
-// durable log record and returns the sequence number it assigned; a
-// non-nil error vetoes the mutation, which is then reported to the
-// caller as "nothing changed" (Add returns false, AddAll returns 0, ...)
-// and recorded for JournalErr. LogAdd only ever sees triples that are
+// structures change. An implementation (internal/persist) encodes a log
+// record, assigns it the next WAL sequence number, and returns a Commit
+// ticket; a non-nil error vetoes the mutation synchronously — nothing
+// was applied, nothing was logged — and is reported to the caller as
+// "nothing changed" (Add returns false, AddAll returns 0, ...) and
+// recorded for JournalErr. LogAdd only ever sees triples that are
 // genuinely new (duplicates are filtered first), so replaying the
 // journal rebuilds the dictionary with identical id assignment.
 //
-// The returned sequence number becomes the store's applied-seq watermark
-// (AppliedSeq) once the mutation is installed: the watermark moves only
-// AFTER the state change is visible, so a reader that observes
-// AppliedSeq() >= N is guaranteed to see the effects of WAL record N.
+// Sequence assignment is deliberately split from the durability wait:
+// the Log* hooks run under the store's write lock and must only do the
+// fast part (encode, assign, enqueue). The caller applies the mutation,
+// releases the lock, and THEN awaits the ticket — so K concurrent
+// writers can share one group fsync instead of paying K fsyncs in
+// series under the lock. A ticket failure after the mutation applied
+// means the journal has latched broken (see Commit); the caller records
+// it as a veto and reports failure.
+//
+// The ticket's sequence number becomes the store's applied-seq
+// watermark (AppliedSeq) once the record is durable: the watermark
+// moves only AFTER both the state change is visible and the record is
+// on stable storage, so a reader that observes AppliedSeq() >= N is
+// guaranteed to see the effects of WAL record N.
 type Journal interface {
-	LogAdd(triples []rdf.Triple) (uint64, error)
-	LogRemove(t rdf.Triple) (uint64, error)
-	LogCompact() (uint64, error)
+	LogAdd(triples []rdf.Triple) (Commit, error)
+	LogRemove(t rdf.Triple) (Commit, error)
+	LogCompact() (Commit, error)
+}
+
+// Commit is a durability ticket for one journalled mutation: the WAL
+// sequence number the record was assigned, and a Wait that blocks until
+// the record reaches stable storage per the journal's sync policy (for
+// group commit: until the batch containing it is written and fsynced).
+// A nil Wait means the record is already durable (the legacy
+// synchronous append path, and test journals).
+//
+// A non-nil Wait error means the record — and everything batched behind
+// it — did NOT become durable even though the in-memory mutation is
+// already applied. The journal latches itself broken in that case
+// (every later write is vetoed until a restart re-truncates the log),
+// precisely because the memory/log divergence cannot be healed online:
+// a client retrying the "failed" write would be deduplicated against
+// the applied state and never re-journalled, silently losing it.
+type Commit struct {
+	Seq  uint64
+	Wait func() error
+}
+
+// Await waits for durability; nil-Wait tickets are already durable.
+func (c Commit) Await() error {
+	if c.Wait == nil {
+		return nil
+	}
+	return c.Wait()
 }
 
 // Store is the triple store. Reads are safe concurrently; writes take the
@@ -254,35 +292,70 @@ func (st *Store) Len() int {
 }
 
 // Add inserts a triple; duplicates are ignored. It reports whether the
-// triple was new.
+// triple was new. With a journal attached the mutation is enqueued and
+// applied under the write lock, but the durability wait happens after
+// the lock is released (see Journal), so concurrent writers share group
+// commits instead of serialising their fsyncs.
 func (st *Store) Add(t rdf.Triple) bool {
+	locked := true
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	defer func() {
+		if locked {
+			st.mu.Unlock()
+		}
+	}()
 	st.buildIndexesLocked()
-	return st.addLocked(t)
+	ok, c := st.addLocked(t)
+	if !ok {
+		return false
+	}
+	locked = false
+	st.mu.Unlock()
+	return st.finishCommit(c)
 }
 
 // addLocked is Add's body; callers hold the write lock. Batch ingest
 // (AddAll, LoadNTriples) takes the lock once per batch instead of once per
-// triple.
-func (st *Store) addLocked(t rdf.Triple) bool {
+// triple. The returned Commit must be awaited (finishCommit) once the
+// lock is released; a false return means nothing changed and there is
+// nothing to await.
+func (st *Store) addLocked(t rdf.Triple) (bool, Commit) {
 	key, isNew := st.stageAdd(t)
 	if !isNew {
-		return false
+		return false, Commit{}
 	}
-	var seq uint64
+	var c Commit
 	if st.journal != nil {
 		st.logScratch[0] = t
 		var err error
-		if seq, err = st.journal.LogAdd(st.logScratch[:]); err != nil {
+		if c, err = st.journal.LogAdd(st.logScratch[:]); err != nil {
 			st.journalErr = err
 			st.journalVetoes++
-			return false
+			return false, Commit{}
 		}
 	}
 	st.applyAdd(t, key)
-	if seq > st.appliedSeq {
-		st.appliedSeq = seq
+	return true, c
+}
+
+// finishCommit awaits a mutation's durability ticket; callers must NOT
+// hold the store lock (the whole point is that the fsync wait happens
+// outside it). On success the applied-seq watermark advances to the
+// ticket's sequence number. On failure the mutation is already applied
+// in memory but was never made durable: the journal has latched itself
+// broken (no later write can succeed either), so this is recorded as a
+// veto and reported as failure — the divergence ends at the next
+// restart, whose recovery replays only what the log actually holds.
+func (st *Store) finishCommit(c Commit) bool {
+	if err := c.Await(); err != nil {
+		st.mu.Lock()
+		st.journalErr = err
+		st.journalVetoes++
+		st.mu.Unlock()
+		return false
+	}
+	if c.Seq != 0 {
+		st.SetAppliedSeq(c.Seq)
 	}
 	return true
 }
@@ -341,13 +414,18 @@ func (st *Store) rebuildSpatialLocked() {
 // together, and only then applied, so a crash can never leave a batch
 // half-durable.
 func (st *Store) AddAll(triples []rdf.Triple) int {
+	locked := true
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	defer func() {
+		if locked {
+			st.mu.Unlock()
+		}
+	}()
 	st.buildIndexesLocked()
 	if st.journal == nil {
 		n := 0
 		for _, t := range triples {
-			if st.addLocked(t) {
+			if ok, _ := st.addLocked(t); ok {
 				n++
 			}
 		}
@@ -371,7 +449,7 @@ func (st *Store) AddAll(triples []rdf.Triple) int {
 	if len(fresh) == 0 {
 		return 0
 	}
-	seq, err := st.journal.LogAdd(fresh)
+	c, err := st.journal.LogAdd(fresh)
 	if err != nil {
 		st.journalErr = err
 		st.journalVetoes++
@@ -380,8 +458,10 @@ func (st *Store) AddAll(triples []rdf.Triple) int {
 	for i, t := range fresh {
 		st.applyAdd(t, keys[i])
 	}
-	if seq > st.appliedSeq {
-		st.appliedSeq = seq
+	locked = false
+	st.mu.Unlock()
+	if !st.finishCommit(c) {
+		return 0
 	}
 	return len(fresh)
 }
@@ -431,18 +511,23 @@ func (st *Store) Remove(t rdf.Triple) bool {
 	if !ok {
 		return false
 	}
+	locked := true
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	defer func() {
+		if locked {
+			st.mu.Unlock()
+		}
+	}()
 	st.buildIndexesLocked()
 	key := [3]uint64{sID, pID, oID}
 	row, ok := st.present[key]
 	if !ok {
 		return false
 	}
-	var seq uint64
+	var c Commit
 	if st.journal != nil {
 		var err error
-		if seq, err = st.journal.LogRemove(t); err != nil {
+		if c, err = st.journal.LogRemove(t); err != nil {
 			st.journalErr = err
 			st.journalVetoes++
 			return false
@@ -455,10 +540,9 @@ func (st *Store) Remove(t rdf.Triple) bool {
 	st.byP[pID] = removePos(st.byP[pID], row)
 	st.byO[oID] = removePos(st.byO[oID], row)
 	st.deleted++
-	if seq > st.appliedSeq {
-		st.appliedSeq = seq
-	}
-	return true
+	locked = false
+	st.mu.Unlock()
+	return st.finishCommit(c)
 }
 
 // removePos deletes row from a posting list. Posting lists are always
@@ -753,15 +837,20 @@ func (st *Store) AsTable() *column.Table {
 // workloads (the refinement rewrites every coastal hotspot's geometry).
 // It reports the number of tombstones reclaimed.
 func (st *Store) Compact() int {
+	locked := true
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	defer func() {
+		if locked {
+			st.mu.Unlock()
+		}
+	}()
 	if st.deleted == 0 {
 		return 0
 	}
-	var seq uint64
+	var c Commit
 	if st.journal != nil {
 		var err error
-		if seq, err = st.journal.LogCompact(); err != nil {
+		if c, err = st.journal.LogCompact(); err != nil {
 			st.journalErr = err
 			st.journalVetoes++
 			return 0
@@ -800,8 +889,10 @@ func (st *Store) Compact() int {
 	st.present = present
 	st.deleted = 0
 	st.pruneSpatialLocked()
-	if seq > st.appliedSeq {
-		st.appliedSeq = seq
+	locked = false
+	st.mu.Unlock()
+	if !st.finishCommit(c) {
+		return 0
 	}
 	return reclaimed
 }
